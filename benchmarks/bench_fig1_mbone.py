@@ -1,0 +1,28 @@
+"""Figure 1: MBone membership dynamics (synthetic trace).
+
+Regenerates the group-size-over-time series that drives the changing-
+application workload and the VBR cross traffic, and charts it in ASCII.
+"""
+
+import numpy as np
+
+from repro.analysis.timeseries import ascii_chart
+from repro.traffic.mbone import mbone_trace
+
+
+def bench_fig1_membership_dynamics(benchmark, report):
+    trace = benchmark.pedantic(lambda: mbone_trace(600, seed=7),
+                               rounds=1, iterations=1)
+    x = np.arange(trace.size, dtype=float)
+    chart = ascii_chart({"group size": (x, trace.astype(float))},
+                        title="Figure 1: membership dynamics (synthetic)",
+                        ylabel="members")
+    stats = ("mean=%.1f min=%d max=%d cv=%.2f"
+             % (trace.mean(), trace.min(), trace.max(),
+                trace.std() / trace.mean()))
+    report("fig1_mbone", chart + "\n" + stats)
+
+    # Shape: a live, bursty membership process.
+    assert trace.min() >= 1
+    assert trace.max() > 2 * trace.mean() * 0.8
+    assert trace.std() / trace.mean() > 0.15

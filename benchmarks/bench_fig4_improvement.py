@@ -1,0 +1,37 @@
+"""Figure 4: relative improvement of IQ-RUDP over RUDP vs congestion level
+(derived from the Table 6 sweep; paper reports throughput +6..25% and
+jitter -20..76% as congestion grows)."""
+
+import numpy as np
+from conftest import cached
+
+from repro.analysis.tables import render_table
+from repro.analysis.timeseries import ascii_chart
+from repro.experiments.overreaction import figure4_improvements, run_table6
+
+
+def bench_fig4_improvement_vs_congestion(benchmark, report):
+    table6 = cached("table6", run_table6)
+    imp = benchmark.pedantic(lambda: figure4_improvements(table6),
+                             rounds=1, iterations=1)
+    rates = sorted(imp)
+    rows = [(f"{r}Mbps", round(imp[r]["throughput_pct"], 1),
+             round(imp[r]["duration_pct"], 1),
+             round(imp[r]["delay_pct"], 1),
+             round(imp[r]["jitter_pct"], 1)) for r in rates]
+    table = render_table(
+        ("iperf", "thr +%", "duration -%", "delay -%", "jitter -%"), rows,
+        title="Figure 4: IQ-RUDP improvement over RUDP vs congestion\n"
+              "(paper: throughput +6..+25%, jitter -20..-76%)")
+    x = np.array(rates, dtype=float)
+    chart = ascii_chart(
+        {"duration -%": (x, np.array([imp[r]["duration_pct"]
+                                      for r in rates])),
+         "delay -%": (x, np.array([imp[r]["delay_pct"] for r in rates]))},
+        title="improvement (%) vs iperf rate (Mbps)", ylabel="%")
+    report("fig4_improvement", table + "\n\n" + chart)
+
+    # Shape: the duration/delay improvement is largest under the most
+    # severe congestion.
+    assert imp[18]["duration_pct"] > imp[12]["duration_pct"]
+    assert imp[18]["duration_pct"] > 0

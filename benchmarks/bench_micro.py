@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the substrate itself (engine event rate, transport
+packet rate) -- the knobs that bound how large an experiment the harness
+can simulate per wall-clock second."""
+
+from repro.middleware.receiver import DeliveryLog
+from repro.sim.engine import Simulator
+from repro.sim.topology import Dumbbell
+from repro.transport.rudp import RudpConnection
+
+
+def bench_engine_event_rate(benchmark):
+    """Schedule+fire cost of the event loop (100k events per round)."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def bench_rudp_transfer_rate(benchmark):
+    """Full-stack packet cost: a 5k-packet RUDP transfer on the dumbbell."""
+
+    def run():
+        sim = Simulator()
+        net = Dumbbell(sim)
+        snd, rcv = net.add_flow_hosts("m")
+        log = DeliveryLog()
+        conn = RudpConnection(sim, snd, rcv, on_deliver=log.on_deliver)
+        for i in range(5000):
+            conn.submit(1400, frame_id=i)
+        conn.finish()
+        sim.run(until=120.0)
+        assert conn.completed
+        return len(log)
+
+    assert benchmark(run) == 5000

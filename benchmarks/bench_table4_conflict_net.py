@@ -1,0 +1,30 @@
+"""Table 4: coordination against conflicting interests, changing network
+(greedy source, CBR + MBone-VBR cross traffic)."""
+
+from conftest import cached
+
+from repro.analysis.tables import render_comparison
+from repro.experiments.conflict import (PAPER_TABLE4, conflict_metrics,
+                                        run_table4)
+
+HEADERS = ("", "Duration(s)", "Mesgs Recvd(%)", "Tagged Delay(ms)",
+           "Tagged Jitter", "Delay(ms)", "Jitter")
+
+
+def bench_table4_conflict_changing_net(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: cached("table4", run_table4), rounds=1, iterations=1)
+    paper_rows = [(k, *v) for k, v in PAPER_TABLE4.items()]
+    measured_rows = [(k, *(round(x, 2) for x in conflict_metrics(r)))
+                     for k, r in results.items()]
+    report("table4_conflict_net", render_comparison(
+        "Table 4: coordination against conflict -- changing network",
+        HEADERS, paper_rows, measured_rows))
+
+    iq = conflict_metrics(results["IQ-RUDP"])
+    ru = conflict_metrics(results["RUDP"])
+    assert iq[0] < ru[0]            # duration
+    assert iq[2] < ru[2]            # tagged delay
+    assert iq[3] <= ru[3] * 1.1     # tagged jitter
+    assert iq[1] < ru[1]            # fewer messages delivered
+    assert iq[1] >= 60.0            # still within the 40% tolerance

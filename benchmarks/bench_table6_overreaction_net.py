@@ -1,0 +1,40 @@
+"""Table 6: coordination against over-reaction, changing network -- the
+iperf cross-traffic sweep (12/16/18 Mbps)."""
+
+from conftest import cached
+
+from repro.analysis.tables import render_comparison
+from repro.experiments.overreaction import (PAPER_TABLE6,
+                                            overreaction_metrics, run_table6)
+
+HEADERS = ("iperf", "Transport", "Throughput(KB/s)", "Duration(s)",
+           "Delay(ms)", "Jitter")
+
+
+def bench_table6_overreaction_changing_net(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: cached("table6", run_table6), rounds=1, iterations=1)
+    paper_rows = []
+    measured_rows = []
+    for rate, rows in results.items():
+        for name in ("IQ-RUDP", "RUDP"):
+            paper_rows.append((f"{rate}Mbps", name,
+                               *PAPER_TABLE6[rate][name]))
+            measured_rows.append(
+                (f"{rate}Mbps", name,
+                 *(round(x, 2) for x in overreaction_metrics(rows[name]))))
+    report("table6_overreaction_net", render_comparison(
+        "Table 6: coordination against over-reaction -- changing network",
+        HEADERS, paper_rows, measured_rows))
+
+    # Shape: throughput decays sharply as the cross traffic grows.
+    for name in ("IQ-RUDP", "RUDP"):
+        t12 = overreaction_metrics(results[12][name])[0]
+        t18 = overreaction_metrics(results[18][name])[0]
+        assert t18 < 0.5 * t12
+    # Shape: under severe congestion (18 Mb) coordination wins on
+    # duration and delay -- the paper's headline effect.
+    iq18 = overreaction_metrics(results[18]["IQ-RUDP"])
+    ru18 = overreaction_metrics(results[18]["RUDP"])
+    assert iq18[1] < ru18[1]
+    assert iq18[2] < ru18[2]

@@ -1,0 +1,40 @@
+"""Shared infrastructure for the table/figure benches.
+
+Each bench regenerates one artifact from the paper's evaluation section,
+prints a paper-vs-measured block, writes it under ``benchmarks/results/``
+and asserts the robust parts of the expected *shape* (who wins; large
+factors).  Absolute numbers are not compared -- our substrate is a
+simulator, not the authors' 2002 Emulab testbed (see EXPERIMENTS.md).
+
+Expensive experiment runs are memoised per pytest session so that e.g. the
+Figure 4 bench reuses the Table 6 sweep instead of re-simulating it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_cache: dict[str, object] = {}
+
+
+def cached(key: str, fn):
+    """Memoise an experiment run for the benchmark session."""
+    if key not in _cache:
+        _cache[key] = fn()
+    return _cache[key]
+
+
+@pytest.fixture()
+def report():
+    """Returns a writer: report(name, text) prints and persists a block."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _write

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Remote visualization with selective reliability (paper section 3.3).
+
+A scientist steers a remote visualization of a large dataset.  Some of the
+data being streamed lies outside the viewport the user is focused on; when
+the network congests, the application *unmarks* off-focus datagrams
+(droppable) while tagging every fifth datagram as control information that
+must arrive.  IQ-RUDP, told about the adaptation through quality
+attributes, discards unmarked datagrams before they ever occupy the
+bottleneck -- so the control stream stays timely.
+
+The script runs the scenario twice (coordinated IQ-RUDP vs plain RUDP) and
+reports the tagged-stream latency the end user would experience.
+
+Run:  python examples/remote_visualization.py
+"""
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.middleware.adaptation import MarkingAdaptation
+
+
+def scenario(transport: str) -> ScenarioConfig:
+    return ScenarioConfig(
+        transport=transport,
+        workload="trace_clocked",      # frame sizes follow dataset activity
+        n_frames=250,
+        frame_rate=25,
+        frame_multiplier=3000,
+        adaptation=lambda: MarkingAdaptation(upper=0.10, lower=0.01),
+        loss_tolerance=0.40,           # the receiver tolerates 40% loss
+        cbr_bps=18e6,                  # heavy background transfer
+        metric_period=0.1,
+        seed=1,
+    )
+
+
+def describe(name: str, res) -> None:
+    s = res.summary
+    st = res.conn.sender.stats
+    print(f"--- {name} ---")
+    print(f"  session duration      : {s['duration_s']:.1f} s")
+    print(f"  control (tagged) delay: {s['tagged_delay_ms']:.1f} ms "
+          f"(jitter {s['tagged_jitter_ms']:.1f} ms)")
+    print(f"  datagrams delivered   : {s['pct_received']:.1f} %")
+    print(f"  discarded at sender   : {st.discarded_msgs} "
+          f"(coordinated drop of off-focus data)")
+    print(f"  skipped via reliability: {st.skips_sent}")
+
+
+def main() -> None:
+    print("Remote visualization: trading off-focus data for timeliness\n")
+    iq = run_scenario(scenario("iq"))
+    rudp = run_scenario(scenario("rudp"))
+    describe("IQ-RUDP (coordinated)", iq)
+    describe("RUDP (uncoordinated)", rudp)
+
+    gain = (1 - iq.summary["tagged_delay_ms"]
+            / max(rudp.summary["tagged_delay_ms"], 1e-9)) * 100
+    print(f"\nCoordination cut the control-stream delay by {gain:.0f}% "
+          f"while staying within the 40% loss tolerance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro -- reproduction of IQ-RUDP (He & Schwan, HPDC 2002).
+
+Coordinating application adaptation with network transport: a reliable-UDP
+transport (RUDP) whose IQ extension exchanges *quality attributes* with the
+application so that transport- and application-level adaptations reinforce
+instead of fighting each other.
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` -- deterministic discrete-event network simulator
+  (the Emulab testbed substitute).
+* :mod:`repro.transport` -- TCP (Reno) baseline, RUDP, IQ-RUDP, UDP.
+* :mod:`repro.core` -- quality attributes, callbacks, metric export, and
+  the coordination engine (the paper's contribution).
+* :mod:`repro.middleware` -- IQ-ECho event channels, adaptive application
+  sources, delivery metrics.
+* :mod:`repro.traffic` -- MBone trace synthesis and cross-traffic sources.
+* :mod:`repro.experiments` / :mod:`repro.analysis` -- the evaluation
+  harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro.experiments.common import ScenarioConfig, run_scenario
+    from repro.middleware.adaptation import ResolutionAdaptation
+
+    res = run_scenario(ScenarioConfig(
+        transport="iq", workload="greedy", cbr_bps=16e6,
+        adaptation=ResolutionAdaptation))
+    print(res.summary)
+"""
+
+from . import analysis, core, middleware, sim, traffic, transport
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "core", "middleware", "sim", "traffic", "transport",
+           "__version__"]

@@ -1,0 +1,11 @@
+"""Metric computation and result presentation."""
+
+from .stats import flow_summary, improvement, interarrival_stats
+from .tables import fmt, render_comparison, render_table
+from .timeseries import ascii_chart, bin_series, running_mean
+
+__all__ = [
+    "flow_summary", "improvement", "interarrival_stats",
+    "fmt", "render_comparison", "render_table",
+    "ascii_chart", "bin_series", "running_mean",
+]

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench regenerates one paper table/figure and prints it in the paper's
+row/column layout next to the paper's published numbers, so shape
+comparisons (who wins, by roughly what factor) are one glance away.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_comparison", "fmt"]
+
+
+def fmt(value: Any, digits: int = 3) -> str:
+    """Compact numeric formatting: trims trailing zeros, keeps ints whole."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    text = f"{value:.{digits}g}"
+    return text
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Monospace table with column auto-sizing."""
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_comparison(title: str, headers: Sequence[str],
+                      paper_rows: Sequence[Sequence[Any]],
+                      measured_rows: Sequence[Sequence[Any]]) -> str:
+    """Paper-vs-measured block: the published table followed by ours."""
+    parts = [
+        render_table(headers, paper_rows, title=f"{title} -- paper"),
+        "",
+        render_table(headers, measured_rows, title=f"{title} -- measured"),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,191 @@
+"""Command-line interface: run any paper experiment or a custom scenario.
+
+Examples
+--------
+::
+
+    python -m repro table1                 # regenerate a paper table
+    python -m repro table6 --seed 3        # different seed
+    python -m repro list                   # what's available
+    python -m repro scenario --transport iq --workload greedy \
+        --cbr 16e6 --frames 4000 --adaptation resolution
+
+The experiment subcommands print the same paper-vs-measured blocks the
+benches write; ``scenario`` runs a one-off configuration and prints the
+standard metric bundle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis.tables import render_comparison, render_table
+from .experiments import baseline, conflict, granularity, overreaction
+from .experiments.common import TRANSPORTS, ScenarioConfig, run_scenario
+from .middleware.adaptation import (DelayedResolutionAdaptation,
+                                    FrequencyAdaptation, MarkingAdaptation,
+                                    ResolutionAdaptation)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+_ADAPTATIONS: dict[str, Callable] = {
+    "none": lambda: None,
+    "resolution": lambda: ResolutionAdaptation(upper=0.05, lower=0.005),
+    "marking": lambda: MarkingAdaptation(upper=0.05, lower=0.01),
+    "delayed": lambda: DelayedResolutionAdaptation(boundary=400,
+                                                   upper=0.05, lower=0.005),
+    "frequency": lambda: FrequencyAdaptation(upper=0.05, lower=0.005),
+}
+
+
+def _table(headers, paper, measured, title) -> str:
+    paper_rows = [(k, *v) for k, v in paper.items()]
+    return render_comparison(title, headers, paper_rows, measured)
+
+
+def _run_table1(args) -> str:
+    res = baseline.run_table1(seed=args.seed)
+    measured = [(k, *(round(x, 3) for x in baseline.table_metrics(r)))
+                for k, r in res.items()]
+    return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
+                  baseline.PAPER_TABLE1, measured, "Table 1")
+
+
+def _run_table2(args) -> str:
+    res = baseline.run_table2(seed=args.seed)
+    measured = [(k, *(round(x, 4) for x in baseline.table_metrics(r)))
+                for k, r in res.items()]
+    return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
+                  baseline.PAPER_TABLE2, measured, "Table 2")
+
+
+def _run_table3(args) -> str:
+    res = conflict.run_table3(seed=args.seed)
+    measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
+                for k, r in res.items()]
+    return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
+                  conflict.PAPER_TABLE3, measured, "Table 3")
+
+
+def _run_table4(args) -> str:
+    res = conflict.run_table4(seed=args.seed)
+    measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
+                for k, r in res.items()]
+    return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
+                  conflict.PAPER_TABLE4, measured, "Table 4")
+
+
+def _run_table5(args) -> str:
+    res = overreaction.run_table5(seed=args.seed)
+    measured = [(k, *(round(x, 2)
+                      for x in overreaction.overreaction_metrics(r)))
+                for k, r in res.items()]
+    return _table(("row", "Thr KB/s", "Dur", "Dly", "Jit"),
+                  overreaction.PAPER_TABLE5, measured, "Table 5")
+
+
+def _run_table6(args) -> str:
+    res = overreaction.run_table6(seed=args.seed)
+    rows = []
+    paper_rows = []
+    for rate, by_name in res.items():
+        for name, r in by_name.items():
+            rows.append((f"{rate}M", name, *(round(x, 2) for x in
+                         overreaction.overreaction_metrics(r))))
+            paper_rows.append((f"{rate}M", name,
+                               *overreaction.PAPER_TABLE6[rate][name]))
+    return render_comparison("Table 6",
+                             ("iperf", "row", "Thr KB/s", "Dur", "Dly",
+                              "Jit"), paper_rows, rows)
+
+
+def _run_table7(args) -> str:
+    res = granularity.run_table7(seed=args.seed)
+    measured = [(k, *(round(x, 2)
+                      for x in granularity.granularity_metrics(r)))
+                for k, r in res.items()]
+    return _table(("row", "Dur", "Thr KB/s", "Dly", "Jit"),
+                  granularity.PAPER_TABLE7, measured, "Table 7")
+
+
+def _run_table8(args) -> str:
+    res = granularity.run_table8(seed=args.seed)
+    measured = [(k, *(round(x, 2)
+                      for x in granularity.granularity_metrics(r)))
+                for k, r in res.items()]
+    return _table(("row", "Dur", "Thr KB/s", "Dly", "Jit"),
+                  granularity.PAPER_TABLE8, measured, "Table 8")
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": _run_table1, "table2": _run_table2, "table3": _run_table3,
+    "table4": _run_table4, "table5": _run_table5, "table6": _run_table6,
+    "table7": _run_table7, "table8": _run_table8,
+}
+
+
+def _run_scenario_cmd(args) -> str:
+    adaptation = _ADAPTATIONS[args.adaptation]
+    cfg = ScenarioConfig(
+        transport=args.transport, workload=args.workload,
+        n_frames=args.frames, base_frame_size=args.frame_size,
+        frame_rate=args.frame_rate,
+        adaptation=None if args.adaptation == "none" else adaptation,
+        cbr_bps=args.cbr, vbr_mean_bps=args.vbr,
+        loss_tolerance=args.tolerance, rtt_s=args.rtt, seed=args.seed,
+        time_cap=args.time_cap)
+    res = run_scenario(cfg)
+    rows = [(k, round(v, 4)) for k, v in sorted(res.summary.items())]
+    return render_table(("metric", "value"), rows,
+                        title=f"scenario: {args.transport}/{args.workload}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="IQ-RUDP (HPDC 2002) reproduction harness")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    for name in EXPERIMENTS:
+        sp = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        sp.add_argument("--seed", type=int,
+                        default=2 if name in ("table5", "table6") else 1)
+
+    sub.add_parser("list", help="list experiments")
+
+    sc = sub.add_parser("scenario", help="run a custom scenario")
+    sc.add_argument("--transport", choices=TRANSPORTS, default="iq")
+    sc.add_argument("--workload",
+                    choices=("greedy", "trace_clocked", "fixed_clocked"),
+                    default="greedy")
+    sc.add_argument("--adaptation", choices=sorted(_ADAPTATIONS),
+                    default="none")
+    sc.add_argument("--frames", type=int, default=2000)
+    sc.add_argument("--frame-size", type=int, default=1400)
+    sc.add_argument("--frame-rate", type=float, default=10.0)
+    sc.add_argument("--cbr", type=float, default=0.0)
+    sc.add_argument("--vbr", type=float, default=0.0)
+    sc.add_argument("--tolerance", type=float, default=None)
+    sc.add_argument("--rtt", type=float, default=0.030)
+    sc.add_argument("--seed", type=int, default=1)
+    sc.add_argument("--time-cap", type=float, default=600.0)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("plus: scenario (custom runs; see --help)")
+        return 0
+    if args.command == "scenario":
+        print(_run_scenario_cmd(args))
+        return 0
+    print(EXPERIMENTS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Application-registered threshold callbacks.
+
+Paper section 2.1, mechanism (2): "an application can register callbacks to
+be triggered under certain conditions".  All of the paper's experiments use a
+pair of error-ratio thresholds: the *upper* callback fires while the measured
+loss ratio meets/exceeds the upper threshold, the *lower* callback while it
+is at/below the lower threshold.  (Section 3.4's application, for example,
+"reduces packet size by a percentage equal to the error ratio when the upper
+threshold is exceeded, and increases packet size by 10% when the lower
+threshold is hit" -- an ongoing control loop, so callbacks re-fire every
+measurement period their condition holds.)
+
+A callback returns either ``None`` (plain RUDP: the transport learns nothing
+about what the application will do) or an :class:`~repro.core.attributes.
+AttributeSet` describing the adaptation, which the sender hands to its
+coordinator -- that return path is the IQ-RUDP information flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .attributes import AttributeSet
+
+__all__ = ["ThresholdCallback", "CallbackRegistry"]
+
+#: Signature: fn(error_ratio, metrics_dict) -> AttributeSet | None
+ThresholdCallback = Callable[[float, dict], "AttributeSet | None"]
+
+
+class _Registration:
+    __slots__ = ("upper", "lower", "on_upper", "on_lower", "edge_triggered",
+                 "state")
+
+    def __init__(self, upper: float, lower: float,
+                 on_upper: ThresholdCallback | None,
+                 on_lower: ThresholdCallback | None,
+                 edge_triggered: bool):
+        if not (0.0 <= lower < upper <= 1.0):
+            raise ValueError("need 0 <= lower < upper <= 1")
+        self.upper = upper
+        self.lower = lower
+        self.on_upper = on_upper
+        self.on_lower = on_lower
+        self.edge_triggered = edge_triggered
+        self.state = "normal"  # or "congested" (edge-trigger hysteresis)
+
+
+class CallbackRegistry:
+    """Holds threshold registrations and evaluates them per metric period.
+
+    ``evaluate`` returns the list of attribute sets the fired callbacks
+    produced; the sender forwards each to its coordinator.
+    """
+
+    def __init__(self) -> None:
+        self._regs: list[_Registration] = []
+        self.fired_upper = 0
+        self.fired_lower = 0
+
+    def register(self, *, upper: float, lower: float,
+                 on_upper: ThresholdCallback | None = None,
+                 on_lower: ThresholdCallback | None = None,
+                 edge_triggered: bool = False) -> None:
+        """Register a threshold pair.
+
+        ``edge_triggered=False`` (paper behaviour) re-fires a callback every
+        period its condition holds; ``True`` fires only on crossings, with
+        hysteresis between the two thresholds.
+        """
+        self._regs.append(_Registration(upper, lower, on_upper, on_lower,
+                                        edge_triggered))
+
+    def __len__(self) -> int:
+        return len(self._regs)
+
+    def evaluate(self, error_ratio: float, metrics: dict
+                 ) -> list[AttributeSet]:
+        """Run all registrations against this period's error ratio."""
+        results: list[AttributeSet] = []
+        for reg in self._regs:
+            fired = None
+            if error_ratio >= reg.upper:
+                if not (reg.edge_triggered and reg.state == "congested"):
+                    fired = reg.on_upper
+                    self.fired_upper += fired is not None
+                reg.state = "congested"
+            elif error_ratio <= reg.lower:
+                if not (reg.edge_triggered and reg.state == "normal"):
+                    fired = reg.on_lower
+                    self.fired_lower += fired is not None
+                reg.state = "normal"
+            if fired is not None:
+                out = fired(error_ratio, metrics)
+                if out:
+                    results.append(out)
+        return results

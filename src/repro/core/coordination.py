@@ -1,0 +1,148 @@
+"""IQ-RUDP coordination engine (the paper's core contribution).
+
+The engine sits inside the sender and consumes the application -> transport
+attribute flow from two sources:
+
+* return values of threshold callbacks (immediate adaptations), and
+* attribute lists piggybacked on ``cmwritev_attr`` send calls (delayed
+  adaptations, section 3.5's limited-granularity case).
+
+It implements the three coordination schemes evaluated in the paper:
+
+**Conflicting interests (section 3.3).**  When the application reports a
+reliability adaptation (:data:`ADAPT_MARK` = current unmark probability), the
+transport "starts to discard unmarked datagrams before sending them onto the
+network", so tagged/marked data stops queueing behind droppable data.
+Plain RUDP keeps sending everything, which is what the paper contrasts
+against.
+
+**Over-reaction (section 3.4).**  When the application reports a resolution
+adaptation (:data:`ADAPT_PKTSIZE` = ``rate_chg``, the fractional frame-size
+reduction), the transport window (in packets) no longer carries the same bit
+rate; to keep the flow at its fair share, the engine re-inflates the window
+to ``1/(1 - rate_chg)`` of its value -- but only "if the current application
+frame is smaller than the maximum RUDP segment size" (larger frames still
+segment into MSS packets, so the packet window's bit rate is unchanged).
+A *frequency* adaptation (:data:`ADAPT_FREQ`) deliberately triggers no window
+change: "for a frequency adaptation, IQ-RUDP does not have to increase the
+window size since the reduction of application frame frequency has the same
+effect".
+
+**Limited granularity / obsolete information (section 3.5).**  A callback may
+return :data:`ADAPT_WHEN` = ``"pending"``; the transport then adapts on its
+own until the application's next send carries the executed adaptation.  If
+the send also carries :data:`ADAPT_COND` (the error ratio the application's
+decision was based on), the engine corrects for network drift during the
+delay.  The paper's Eq. 1 as typeset reads
+``((1-eratio_new)/(1-eratio)) / (1/(1-rate_chg))``, which *shrinks* the
+window for a size reduction and contradicts both the surrounding prose and
+the measured Table 8 ordering; we implement the evident intent::
+
+    w <- w * (1 / (1 - rate_chg)) * ((1 - eratio_new) / (1 - eratio))
+
+i.e. compensate the frame-size reduction, then scale by how the loss ratio
+drifted while the adaptation was pending.
+"""
+
+from __future__ import annotations
+
+from .attributes import (ADAPT_COND, ADAPT_FREQ, ADAPT_MARK, ADAPT_PKTSIZE,
+                         ADAPT_WHEN, AttributeSet)
+
+__all__ = ["Coordinator", "NullCoordinator", "IQCoordinator"]
+
+
+class Coordinator:
+    """Interface the sender drives.  Subclasses implement the schemes."""
+
+    def bind(self, sender) -> None:
+        """Attach to a sender (called from the sender's constructor)."""
+        self.sender = sender
+
+    def on_callback_result(self, attrs: AttributeSet) -> None:
+        """Attributes returned by a threshold callback."""
+
+    def on_send_attrs(self, attrs: AttributeSet) -> None:
+        """Attributes piggybacked on a data submit (``cmwritev_attr``)."""
+
+
+class NullCoordinator(Coordinator):
+    """Plain RUDP: application adaptations are invisible to the transport.
+
+    This is the uncoordinated baseline every experiment compares against --
+    the transport still adapts its window to congestion, but knows nothing
+    about what the application is doing.
+    """
+
+
+class IQCoordinator(Coordinator):
+    """Full IQ-RUDP coordination.
+
+    Ablation switches:
+
+    * ``discard_unmarked`` -- conflict scheme on/off.
+    * ``reinflate_window`` -- over-reaction scheme on/off.
+    * ``use_adapt_cond`` -- obsolete-information correction on/off
+      (Table 8's "IQ-RUDP w/o ADAPT_COND" sets this False).
+    """
+
+    def __init__(self, *, discard_unmarked: bool = True,
+                 reinflate_window: bool = True,
+                 use_adapt_cond: bool = True):
+        self.enable_discard = discard_unmarked
+        self.enable_reinflate = reinflate_window
+        self.use_adapt_cond = use_adapt_cond
+        self.sender = None
+        # Introspection counters (used by tests and EXPERIMENTS.md notes).
+        self.window_rescales = 0
+        self.discard_switches = 0
+        self.pending_adaptations = 0
+        self.cond_corrections = 0
+        self.freq_adaptations = 0
+
+    # ------------------------------------------------------------------
+    def on_callback_result(self, attrs: AttributeSet) -> None:
+        self._apply(attrs)
+
+    def on_send_attrs(self, attrs: AttributeSet) -> None:
+        self._apply(attrs)
+
+    # ------------------------------------------------------------------
+    def _apply(self, attrs: AttributeSet) -> None:
+        snd = self.sender
+        if snd is None:
+            raise RuntimeError("coordinator not bound to a sender")
+
+        when = attrs.get(ADAPT_WHEN)
+        if when == "pending":
+            # The application will adapt later (limited granularity).  The
+            # transport keeps adapting on its own; nothing to change now.
+            self.pending_adaptations += 1
+            return
+
+        if ADAPT_MARK in attrs and self.enable_discard:
+            p = float(attrs[ADAPT_MARK])
+            want = p > 1e-9
+            if want != snd.discard_unmarked:
+                self.discard_switches += 1
+            snd.discard_unmarked = want
+
+        if ADAPT_FREQ in attrs:
+            # Deliberately no window change (see module docstring).
+            self.freq_adaptations += 1
+
+        if ADAPT_PKTSIZE in attrs and self.enable_reinflate:
+            rate_chg = float(attrs[ADAPT_PKTSIZE])
+            if rate_chg >= 1.0:
+                raise ValueError(f"ADAPT_PKTSIZE rate_chg {rate_chg} >= 1")
+            if snd.last_frame_size < snd.mss:
+                factor = 1.0 / (1.0 - rate_chg)
+                cond = attrs.get(ADAPT_COND)
+                if cond is not None and self.use_adapt_cond:
+                    e_old = float(cond.get("error_ratio", 0.0))
+                    e_new = snd.current_error_ratio()
+                    if e_old < 1.0:
+                        factor *= (1.0 - e_new) / (1.0 - e_old)
+                        self.cond_corrections += 1
+                snd.cc.scale_window(factor)
+                self.window_rescales += 1

@@ -1,0 +1,125 @@
+"""Section 3.4: coordination against over-reaction.
+
+The application down-samples -- reduces its message size by the error ratio
+above a 15% threshold, grows it back 10% per period below 1%.  Both the
+application and the transport react to the same congestion signal, so
+without coordination the joint effect overshoots: the flow ends up below
+its fair share with worse quality *and* worse delay.  IQ-RUDP re-inflates
+its packet window to ``1/(1 - rate_chg)`` when told about the size
+reduction (frames below one MSS), keeping the bit rate at the fair share.
+
+Table 5 is the changing-application variant (trace-driven sub-MSS frames);
+Table 6 sweeps the iperf cross traffic over 12/16/18 Mbps in the
+changing-network variant; Figure 4 plots the relative improvement, which
+grows with congestion (throughput +6%..+25%, jitter -20%..-76%).
+"""
+
+from __future__ import annotations
+
+from ..middleware.adaptation import ResolutionAdaptation
+from .common import ScenarioConfig, ScenarioResult, run_scenario
+
+__all__ = ["PAPER_TABLE5", "PAPER_TABLE6", "run_table5", "run_table6",
+           "overreaction_metrics", "figure4_improvements"]
+
+# (throughput KB/s, duration s, delay ms, jitter)
+PAPER_TABLE5 = {
+    "IQ-RUDP": (380.0, 39.0, 10.4, 0.78),
+    "RUDP": (367.0, 42.0, 15.2, 0.83),
+}
+
+# cross rate Mbps -> row name -> (throughput KB/s, duration s, delay ms, jitter)
+PAPER_TABLE6 = {
+    12: {"IQ-RUDP": (506.0, 9.5, 3.8, 0.20), "RUDP": (478.0, 10.9, 4.6, 0.25)},
+    16: {"IQ-RUDP": (131.0, 26.1, 10.2, 6.4), "RUDP": (109.0, 31.0, 12.4, 10.3)},
+    18: {"IQ-RUDP": (99.0, 51.0, 14.0, 19.0), "RUDP": (79.0, 85.0, 22.0, 80.0)},
+}
+
+
+def _app_strategy() -> ResolutionAdaptation:
+    """Resolution thresholds scaled to this testbed's per-period loss
+    distribution (same reasoning as the conflict experiments: the paper's
+    15%/1% pair matches its loss process; our congestion-controlled flow
+    with EACK repair sees lower per-period ratios for the same congestion).
+
+    The changing-application source is clocked, so one cut per congestion
+    episode (2 s cooldown) keeps the app's control loop on the transport's
+    once-per-window reduction cadence.
+    """
+    return ResolutionAdaptation(upper=0.05, lower=0.005, cooldown_s=2.0)
+
+
+def _net_strategy() -> ResolutionAdaptation:
+    """Changing-network variant: the greedy source re-evaluates every
+    measurement period (level-triggered, as the paper's algorithm reads);
+    repeated cuts during sustained VBR bursts are exactly the over-reaction
+    the coordination compensates."""
+    return ResolutionAdaptation(upper=0.05, lower=0.005, cooldown_s=0.0)
+
+
+def _changing_app_config(n_frames: int, seed: int) -> ScenarioConfig:
+    """Trace-driven frames scaled into the sub-MSS range (multiplier 150 B
+    per group member) so resolution adaptation crosses the window
+    re-inflation condition, at 200 fps for a ~2.4 Mb offered load."""
+    return ScenarioConfig(
+        workload="trace_clocked", n_frames=n_frames, frame_rate=200,
+        frame_multiplier=150, adaptation=_app_strategy,
+        cbr_bps=18e6, metric_period=0.5, seed=seed, time_cap=900.0)
+
+
+def _changing_net_config(cbr_bps: float, n_frames: int, seed: int
+                         ) -> ScenarioConfig:
+    return ScenarioConfig(
+        workload="greedy", n_frames=n_frames, base_frame_size=1400,
+        adaptation=_net_strategy, cbr_bps=cbr_bps,
+        vbr_mean_bps=1.0e6, metric_period=0.5, seed=seed, time_cap=900.0)
+
+
+def run_table5(*, n_frames: int = 8000, seed: int = 2
+               ) -> dict[str, ScenarioResult]:
+    base = _changing_app_config(n_frames, seed)
+    return {
+        "IQ-RUDP": run_scenario(base.replace(transport="iq")),
+        "RUDP": run_scenario(base.replace(transport="rudp")),
+    }
+
+
+def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
+               n_frames: int = 12000, seed: int = 2
+               ) -> dict[int, dict[str, ScenarioResult]]:
+    """The congestion sweep; same VBR cross traffic across rates."""
+    out: dict[int, dict[str, ScenarioResult]] = {}
+    for rate in rates_mbps:
+        base = _changing_net_config(rate * 1e6, n_frames, seed)
+        out[rate] = {
+            "IQ-RUDP": run_scenario(base.replace(transport="iq")),
+            "RUDP": run_scenario(base.replace(transport="rudp")),
+        }
+    return out
+
+
+def overreaction_metrics(res: ScenarioResult) -> tuple[float, ...]:
+    """Table 5/6 column set: throughput, duration, delay, jitter."""
+    s = res.summary
+    return (s["throughput_kBps"], s["duration_s"], s["delay_ms"],
+            s["jitter_ms"])
+
+
+def figure4_improvements(table6: dict[int, dict[str, ScenarioResult]]
+                         ) -> dict[int, dict[str, float]]:
+    """Figure 4: percent improvement of IQ-RUDP over RUDP per cross rate."""
+    out: dict[int, dict[str, float]] = {}
+    for rate, rows in table6.items():
+        iq = rows["IQ-RUDP"].summary
+        ru = rows["RUDP"].summary
+        out[rate] = {
+            "throughput_pct": 100.0 * (iq["throughput_kBps"]
+                                       / max(ru["throughput_kBps"], 1e-9) - 1),
+            "duration_pct": 100.0 * (1 - iq["duration_s"]
+                                     / max(ru["duration_s"], 1e-9)),
+            "delay_pct": 100.0 * (1 - iq["delay_ms"]
+                                  / max(ru["delay_ms"], 1e-9)),
+            "jitter_pct": 100.0 * (1 - iq["jitter_ms"]
+                                   / max(ru["jitter_ms"], 1e-9)),
+        }
+    return out

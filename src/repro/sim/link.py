@@ -1,0 +1,135 @@
+"""Point-to-point links with serialization delay, propagation delay and an
+egress drop-tail queue.
+
+This is the Emulab substitute: the paper's "emulated 20Mb physical links with
+a path RTT of 30ms" become two :class:`Link` instances (one per direction)
+between the dumbbell routers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue
+
+__all__ = ["Link", "PacketSink", "LossModel", "BernoulliLoss"]
+
+
+class PacketSink(Protocol):
+    """Anything that can accept a delivered packet."""
+
+    def receive(self, pkt: Packet) -> None: ...
+
+
+class LossModel:
+    """Base class for stochastic wire-loss injection (failure testing).
+
+    The paper's testbed has no random wire loss -- all loss is queue drop --
+    so the default model never drops.  Subclass for lossy-link experiments.
+    """
+
+    def drops(self, pkt: Packet) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """IID packet loss with probability ``p`` (failure-injection tests)."""
+
+    def __init__(self, p: float, rng) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("loss probability must be in [0,1]")
+        self.p = p
+        self._rng = rng
+
+    def drops(self, pkt: Packet) -> bool:
+        return self._rng.random() < self.p
+
+
+class Link:
+    """Unidirectional link: egress FIFO -> serialization -> propagation.
+
+    Parameters
+    ----------
+    bandwidth_bps : link rate in bits per second (the paper's 20 Mb link is
+        ``20e6``).
+    delay_s : one-way propagation delay in seconds.
+    queue_bytes : drop-tail buffer budget at the egress.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float, delay_s: float,
+                 sink: PacketSink, *, queue_bytes: int = 64 * 1440,
+                 name: str = "link", loss: LossModel | None = None,
+                 on_drop: Callable[[Packet], None] | None = None):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.sink = sink
+        self.name = name
+        self.queue = DropTailQueue(queue_bytes, on_drop=on_drop)
+        self.loss = loss or LossModel()
+        self._busy = False
+        self.up = True
+        # Wire counters for utilisation / fairness accounting.
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_lost_wire = 0
+
+    # ------------------------------------------------------------------
+    def tx_time(self, pkt: Packet) -> float:
+        """Serialization time of ``pkt`` on this link."""
+        return pkt.wire_size * 8.0 / self.bandwidth_bps
+
+    def send(self, pkt: Packet) -> bool:
+        """Offer ``pkt`` to the link; False when the egress queue drops it
+        or the link is administratively down."""
+        if not self.up:
+            self.packets_lost_wire += 1
+            return False
+        if not self.queue.push(pkt):
+            return False
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    # ------------------------------------------------------------------
+    def _start_transmission(self) -> None:
+        pkt = self.queue.pop()
+        self._busy = True
+        self.sim.schedule(self.tx_time(pkt), self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.bytes_sent += pkt.wire_size
+        self.packets_sent += 1
+        if self.up and not self.loss.drops(pkt):
+            # Propagation: deliver after the flight time.  priority=-1 makes
+            # arrivals at an instant precede timers at the same instant.
+            self.sim.schedule(self.delay_s, self.sink.receive, pkt,
+                              priority=-1)
+        else:
+            self.packets_lost_wire += 1
+        if not self.queue.empty:
+            self._start_transmission()
+        else:
+            self._busy = False
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Administratively down the link; queued packets are flushed."""
+        self.up = False
+        self.packets_lost_wire += len(self.queue)
+        self.queue.clear()
+
+    def recover(self) -> None:
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Link {self.name} {self.bandwidth_bps/1e6:.1f}Mbps "
+                f"{self.delay_s*1e3:.1f}ms q={len(self.queue)}>")

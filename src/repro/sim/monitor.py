@@ -1,0 +1,107 @@
+"""Time-series probes for experiments and figures.
+
+The paper's Figures 2-4 are time series / derived series; these probes record
+them without perturbing the simulation.  Storage is plain Python lists during
+the run (appends dominate) and converts to NumPy arrays for analysis, per the
+vectorise-at-the-edge idiom in the HPC guides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .engine import Simulator
+
+__all__ = ["Probe", "PeriodicSampler", "CountedSeries"]
+
+
+class Probe:
+    """Append-only (time, value) recorder."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        self._t.append(t)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v, dtype=np.float64)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.times, self.values
+
+
+class PeriodicSampler:
+    """Samples ``fn()`` every ``period`` seconds into a :class:`Probe`.
+
+    Used for congestion-window and queue-depth traces; start with
+    :meth:`start` after the scenario is wired.
+    """
+
+    def __init__(self, sim: Simulator, period: float, fn: Callable[[], float],
+                 name: str = ""):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.period = period
+        self.fn = fn
+        self.probe = Probe(name)
+        self._running = False
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.sim.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.probe.record(self.sim.now, float(self.fn()))
+        self.sim.schedule(self.period, self._tick)
+
+
+class CountedSeries:
+    """Per-event series keyed by an integer index (e.g. packet number).
+
+    Figures 2/3 plot jitter against *packet index*; this container keeps the
+    (index, value) pairs and converts lazily.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._i: list[int] = []
+        self._v: list[float] = []
+
+    def record(self, index: int, value: float) -> None:
+        self._i.append(index)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._i)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (np.asarray(self._i, dtype=np.int64),
+                np.asarray(self._v, dtype=np.float64))
+
+    def summary(self) -> dict[str, Any]:
+        if not self._v:
+            return {"count": 0, "mean": 0.0, "std": 0.0, "max": 0.0}
+        v = np.asarray(self._v)
+        return {"count": int(v.size), "mean": float(v.mean()),
+                "std": float(v.std()), "max": float(v.max())}

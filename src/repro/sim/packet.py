@@ -1,0 +1,119 @@
+"""Packet model shared by every protocol in the reproduction.
+
+A single slotted class keeps the hot path cheap (millions of packets per
+experiment) while still carrying everything the paper's mechanisms need:
+
+* ``marked`` -- IQ-RUDP sender priority marking: a *marked* packet requires
+  reliable delivery, an *unmarked* one may be lost or deliberately discarded
+  (paper section 2.1, adaptive reliability).
+* ``tagged`` -- the conflict experiment (section 3.3) tags every fifth
+  application datagram as control information that must reach the display.
+* ``attrs`` -- quality attributes piggybacked on data, the application ->
+  transport information flow at the heart of the coordination schemes.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["PacketKind", "Packet", "HEADER_BYTES", "ACK_BYTES"]
+
+#: Transport+IP header overhead charged to every data packet on the wire.
+HEADER_BYTES = 40
+#: Wire size of a pure acknowledgement.
+ACK_BYTES = 40
+
+
+class PacketKind(IntEnum):
+    """Distinguishes transport segment roles on the wire."""
+
+    DATA = 0
+    ACK = 1
+    SYN = 2
+    SYNACK = 3
+    FIN = 4
+
+
+class Packet:
+    """One datagram in flight.
+
+    ``size`` is the payload size in bytes; the wire occupies
+    ``size + HEADER_BYTES``.  ``seq`` numbers are in *packets* for RUDP (the
+    paper's window is packet-based) and in packets-of-MSS for our TCP.
+    """
+
+    __slots__ = (
+        "flow_id", "kind", "seq", "ack", "size", "src", "dst", "sport",
+        "dport", "created_at", "sent_at", "marked", "tagged", "frame_id",
+        "retransmit", "attrs", "ecn", "sack", "skip", "last_of_frame",
+    )
+
+    _ids = 0
+
+    def __init__(self, *, flow_id: int, kind: PacketKind = PacketKind.DATA,
+                 seq: int = 0, ack: int = -1, size: int = 0,
+                 src: int = 0, dst: int = 0, sport: int = 0, dport: int = 0,
+                 created_at: float = 0.0, marked: bool = True,
+                 tagged: bool = False, frame_id: int = -1,
+                 attrs: dict[str, Any] | None = None):
+        self.flow_id = flow_id
+        self.kind = kind
+        self.seq = seq
+        self.ack = ack
+        self.size = size
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.created_at = created_at
+        self.sent_at = created_at
+        self.marked = marked
+        self.tagged = tagged
+        self.frame_id = frame_id
+        self.retransmit = 0
+        self.attrs = attrs
+        self.ecn = False
+        self.sack = None
+        # ``skip`` marks a zero-payload hole-fill segment: the sender decided
+        # (adaptive reliability) not to retransmit a lost unmarked datagram
+        # and tells the receiver to advance past its sequence number.
+        self.skip = False
+        # True on the final segment of an application frame; lets the
+        # receiver time frame completions for inter-arrival metrics.
+        self.last_of_frame = True
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes occupied on a link, including header overhead."""
+        return self.size + HEADER_BYTES
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == PacketKind.DATA
+
+    @property
+    def is_ack(self) -> bool:
+        return self.kind == PacketKind.ACK
+
+    def copy(self) -> "Packet":
+        """Shallow duplicate used for retransmissions."""
+        p = Packet(flow_id=self.flow_id, kind=self.kind, seq=self.seq,
+                   ack=self.ack, size=self.size, src=self.src, dst=self.dst,
+                   sport=self.sport, dport=self.dport,
+                   created_at=self.created_at, marked=self.marked,
+                   tagged=self.tagged, frame_id=self.frame_id,
+                   attrs=self.attrs)
+        p.retransmit = self.retransmit
+        p.skip = self.skip
+        p.last_of_frame = self.last_of_frame
+        return p
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join((
+            "M" if self.marked else "u",
+            "T" if self.tagged else "-",
+            f"R{self.retransmit}" if self.retransmit else "",
+        ))
+        return (f"<Pkt f{self.flow_id} {self.kind.name} seq={self.seq} "
+                f"ack={self.ack} {self.size}B {flags}>")

@@ -1,0 +1,144 @@
+"""Router/link queues.
+
+The bottleneck drop-tail queue is where every effect the paper measures is
+born: loss ratios trigger the adaptation callbacks, and queueing delay is the
+delay/jitter the tables report.  The implementation therefore keeps precise
+drop and occupancy accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from .packet import Packet
+
+__all__ = ["DropTailQueue", "REDQueue", "QueueStats"]
+
+
+class QueueStats:
+    """Arrival/drop/occupancy counters for one queue."""
+
+    __slots__ = ("arrivals", "departures", "drops", "bytes_in", "bytes_dropped",
+                 "peak_bytes", "peak_packets")
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.departures = 0
+        self.drops = 0
+        self.bytes_in = 0
+        self.bytes_dropped = 0
+        self.peak_bytes = 0
+        self.peak_packets = 0
+
+    @property
+    def drop_ratio(self) -> float:
+        """Fraction of arrivals dropped (0.0 when idle)."""
+        return self.drops / self.arrivals if self.arrivals else 0.0
+
+
+class DropTailQueue:
+    """FIFO byte-budget queue with tail drop.
+
+    ``capacity_bytes`` bounds total queued wire bytes -- the classic router
+    buffer model.  A packet that does not fit is dropped in its entirety.
+    ``on_drop`` (if given) observes each dropped packet, which the failure
+    injection tests and monitors use.
+    """
+
+    def __init__(self, capacity_bytes: int,
+                 on_drop: Callable[[Packet], None] | None = None):
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.on_drop = on_drop
+        self._q: deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def bytes(self) -> int:
+        """Wire bytes currently queued."""
+        return self._bytes
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+    def push(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt``; returns False (and drops) when full."""
+        st = self.stats
+        st.arrivals += 1
+        if self._bytes + pkt.wire_size > self.capacity_bytes:
+            st.drops += 1
+            st.bytes_dropped += pkt.wire_size
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+            return False
+        self._q.append(pkt)
+        self._bytes += pkt.wire_size
+        st.bytes_in += pkt.wire_size
+        if self._bytes > st.peak_bytes:
+            st.peak_bytes = self._bytes
+        if len(self._q) > st.peak_packets:
+            st.peak_packets = len(self._q)
+        return True
+
+    def pop(self) -> Packet:
+        """Dequeue the head-of-line packet."""
+        pkt = self._q.popleft()
+        self._bytes -= pkt.wire_size
+        self.stats.departures += 1
+        return pkt
+
+    def clear(self) -> None:
+        self._q.clear()
+        self._bytes = 0
+
+
+class REDQueue(DropTailQueue):
+    """Random Early Detection variant (extension, not used by the paper's
+    Emulab setup, which is drop-tail).
+
+    Implements the gentle-RED drop curve on the EWMA of queue bytes.  Provided
+    so ablation benches can ask whether the coordination wins depend on the
+    drop-tail loss pattern.
+    """
+
+    def __init__(self, capacity_bytes: int, *, min_th: float = 0.25,
+                 max_th: float = 0.75, max_p: float = 0.1, weight: float = 0.002,
+                 rng=None, on_drop: Callable[[Packet], None] | None = None):
+        super().__init__(capacity_bytes, on_drop)
+        if not (0.0 <= min_th < max_th <= 1.0):
+            raise ValueError("need 0 <= min_th < max_th <= 1")
+        self.min_bytes = min_th * capacity_bytes
+        self.max_bytes = max_th * capacity_bytes
+        self.max_p = max_p
+        self.weight = weight
+        self._avg = 0.0
+        if rng is None:  # deterministic fallback
+            import random
+            rng = random.Random(0)
+        self._rng = rng
+
+    def push(self, pkt: Packet) -> bool:
+        self._avg += self.weight * (self._bytes - self._avg)
+        if self._avg > self.max_bytes:
+            p_drop = 1.0
+        elif self._avg > self.min_bytes:
+            p_drop = self.max_p * ((self._avg - self.min_bytes)
+                                   / (self.max_bytes - self.min_bytes))
+        else:
+            p_drop = 0.0
+        if p_drop and self._rng.random() < p_drop:
+            st = self.stats
+            st.arrivals += 1
+            st.drops += 1
+            st.bytes_dropped += pkt.wire_size
+            if self.on_drop is not None:
+                self.on_drop(pkt)
+            return False
+        return super().push(pkt)

@@ -1,0 +1,9 @@
+"""Workload and cross-traffic generators."""
+
+from .bulk import BulkSource
+from .cbr import CbrSource
+from .mbone import MboneParams, mbone_trace, trace_frame_sizes
+from .vbr import VbrSource
+
+__all__ = ["BulkSource", "CbrSource", "MboneParams", "mbone_trace",
+           "trace_frame_sizes", "VbrSource"]

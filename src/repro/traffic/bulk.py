@@ -1,0 +1,80 @@
+"""Greedy bulk source for a reliable connection.
+
+Two uses in the reproduction:
+
+* the TCP cross flow in the fairness test (Table 2), and
+* the changing-network application, which "sends out fixed size data packets
+  as fast as allowed by RUDP" (section 3.1) -- greedy, backpressured by the
+  transport window.
+
+The source keeps the transport's send backlog topped up via the sender's
+``on_space`` backpressure callback, so the *transport* (not the source
+clock) paces the flow.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__all__ = ["BulkSource"]
+
+
+class _SubmitTarget(Protocol):
+    def submit(self, size: int, **kw) -> int: ...
+    def finish(self) -> None: ...
+
+
+class BulkSource:
+    """Feeds ``total_bytes`` (or unbounded) ``chunk_bytes`` datagrams.
+
+    Wire the sender with ``on_space=source.pump`` and call :meth:`start`
+    once.  ``frame_id`` counts submitted chunks so receiver-side metrics can
+    treat each chunk as a message.
+    """
+
+    def __init__(self, conn: _SubmitTarget, *, chunk_bytes: int = 1400,
+                 total_bytes: int | None = None, marked: bool = True):
+        if chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if total_bytes is not None and total_bytes <= 0:
+            raise ValueError("total_bytes must be positive when given")
+        self.conn = conn
+        self.chunk_bytes = chunk_bytes
+        self.total_bytes = total_bytes
+        self.marked = marked
+        self.submitted_bytes = 0
+        self.chunks = 0
+        self.done = False
+        self._started = False
+        self._pumping = False
+
+    def start(self) -> None:
+        self._started = True
+        self.pump()
+
+    def pump(self) -> None:
+        """Refill the transport backlog (on_space callback).
+
+        Submitting can itself trigger ``on_space`` (the sender pumps and
+        finds room), so the method guards against re-entry -- otherwise a
+        single refill would nest and overshoot the byte budget.
+        """
+        if not self._started or self.done or self._pumping:
+            return
+        self._pumping = True
+        try:
+            for _ in range(16):
+                if (self.total_bytes is not None
+                        and self.submitted_bytes >= self.total_bytes):
+                    self.done = True
+                    self.conn.finish()
+                    return
+                size = self.chunk_bytes
+                if self.total_bytes is not None:
+                    size = min(size, self.total_bytes - self.submitted_bytes)
+                self.conn.submit(size, marked=self.marked,
+                                 frame_id=self.chunks)
+                self.submitted_bytes += size
+                self.chunks += 1
+        finally:
+            self._pumping = False

@@ -1,0 +1,23 @@
+"""Transport protocols: TCP baseline, RUDP, IQ-RUDP, and plain UDP."""
+
+from .base import (DUP_ACK_THRESHOLD, FlowStats, WindowedReceiver,
+                   WindowedSender, make_flow_id)
+from .cc import CongestionControl, FixedWindowCC, RenoCC
+from .iq_rudp import IqRudpConnection
+from .lda import LdaCC
+from .reliability import (FullReliability, LossTolerantReliability,
+                          ReliabilityPolicy)
+from .rtt import RttEstimator
+from .rudp import RudpConnection
+from .seqspace import ReorderBuffer
+from .tcp import TcpConnection
+from .udp import UdpSender, UdpSink
+
+__all__ = [
+    "DUP_ACK_THRESHOLD", "FlowStats", "WindowedReceiver", "WindowedSender",
+    "make_flow_id",
+    "CongestionControl", "FixedWindowCC", "RenoCC", "LdaCC",
+    "IqRudpConnection", "RudpConnection", "TcpConnection",
+    "FullReliability", "LossTolerantReliability", "ReliabilityPolicy",
+    "RttEstimator", "ReorderBuffer", "UdpSender", "UdpSink",
+]

@@ -1,0 +1,529 @@
+"""Shared machinery for the windowed, reliable transports.
+
+TCP, RUDP and IQ-RUDP all share one sender/receiver skeleton and differ only
+in their pluggable parts:
+
+=================  =====================  ==========================
+Part               TCP                    RUDP / IQ-RUDP
+=================  =====================  ==========================
+Congestion law     :class:`RenoCC`        :class:`LdaCC` (epoch based)
+Reliability        full                   loss tolerant (marking/skips)
+Coordinator        --                     Null (RUDP) / IQ (IQ-RUDP)
+=================  =====================  ==========================
+
+The sender is message oriented (the paper's RUDP is datagram based): the
+application submits datagrams/frames of arbitrary size, the transport
+segments them into MSS packets, numbers packets at *first transmission* (so
+locally-discarded unmarked datagrams leave no sequence holes) and provides
+in-order reliable delivery with cumulative ACKs, duplicate-ACK fast
+retransmit and an RFC 6298 retransmission timer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from ..core.attributes import AttributeService, AttributeSet
+from ..core.callbacks import CallbackRegistry
+from ..core.coordination import Coordinator, NullCoordinator
+from ..core.metrics_export import MetricsWindow
+from ..sim.engine import Event, Simulator
+from ..sim.node import Host
+from ..sim.packet import Packet, PacketKind
+from .cc import CongestionControl
+from .reliability import FullReliability, ReliabilityPolicy
+from .rtt import RttEstimator
+from .seqspace import ReorderBuffer
+
+__all__ = ["FlowStats", "WindowedSender", "WindowedReceiver",
+           "make_flow_id", "DUP_ACK_THRESHOLD"]
+
+DUP_ACK_THRESHOLD = 3
+
+_flow_counter = [0]
+
+
+def make_flow_id() -> int:
+    """Globally unique flow identifier (per process)."""
+    _flow_counter[0] += 1
+    return _flow_counter[0]
+
+
+class FlowStats:
+    """Lifetime counters for one direction of a connection."""
+
+    __slots__ = ("submitted_msgs", "submitted_bytes", "submitted_segments",
+                 "discarded_msgs",
+                 "discarded_bytes", "packets_sent", "bytes_sent",
+                 "retransmissions", "skips_sent", "timeouts",
+                 "fast_retransmits", "acked_packets", "acked_bytes",
+                 "delivered_packets", "delivered_bytes", "skipped_received",
+                 "duplicates")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class WindowedSender:
+    """Reliable, congestion-controlled, message-oriented sender endpoint.
+
+    Parameters
+    ----------
+    sim, host : simulation context and the local host (binds ``port``).
+    peer_addr, peer_port : destination address/port.
+    cc : congestion-control strategy (owns the window).
+    reliability : skip policy for lost unmarked packets.
+    coordinator : IQ-RUDP coordination engine (Null for plain RUDP/TCP).
+    callbacks : threshold-callback registry evaluated each metric period.
+    service : attribute service metrics are exported into.
+    metric_period : measurement period for exported metrics/callbacks
+        (section 3.1's "measuring period").
+    rwnd : receiver advertised window in packets (flow control bound).
+    """
+
+    def __init__(self, sim: Simulator, host: Host, *, port: int,
+                 peer_addr: int, peer_port: int, cc: CongestionControl,
+                 mss: int = 1400,
+                 reliability: ReliabilityPolicy | None = None,
+                 coordinator: Coordinator | None = None,
+                 callbacks: CallbackRegistry | None = None,
+                 service: AttributeService | None = None,
+                 metric_period: float = 0.5,
+                 rwnd: int = 128,
+                 min_rto: float = 0.2,
+                 use_eack: bool = False,
+                 flow_id: int | None = None,
+                 on_complete: Callable[[float], None] | None = None,
+                 on_space: Callable[[], None] | None = None):
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.peer_addr = peer_addr
+        self.peer_port = peer_port
+        self.cc = cc
+        self.mss = mss
+        self.rwnd = rwnd
+        self.flow_id = flow_id if flow_id is not None else make_flow_id()
+        self.reliability = reliability or FullReliability()
+        self.coordinator = coordinator or NullCoordinator()
+        self.coordinator.bind(self)
+        self.callbacks = (callbacks if callbacks is not None
+                          else CallbackRegistry())
+        self.service = service if service is not None else AttributeService()
+        self.rtt = RttEstimator(min_rto=min_rto)
+        self.metrics = MetricsWindow(metric_period, self.service)
+        self.stats = FlowStats()
+        self.on_complete = on_complete
+        self.on_space = on_space
+
+        # Send state.
+        self._pending: deque[Packet] = deque()   # segments awaiting first tx
+        self._window: dict[int, Packet] = {}     # seq -> canonical packet
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._dup_acks = 0
+        self._in_recovery = False
+        self._recover_point = 0
+        self.use_eack = use_eack
+        self._sacked: set[int] = set()
+        # seq -> time of last EACK-driven repair; a hole becomes eligible
+        # again one RTT after its last repair (lost repairs retry without
+        # waiting for the RTO backstop).
+        self._repaired: dict[int, float] = {}
+        self._rto_event: Event | None = None
+        self._finished = False
+        self._completed = False
+        self.backlog_bytes = 0
+        self.low_water_bytes = 4 * mss
+
+        # Coordination-visible state.
+        self.discard_unmarked = False
+        self.last_frame_size = 0
+
+        # Epoch counters (LDA).
+        self._epoch_sent = 0
+        self._epoch_lost = 0
+        self._epoch_max_inflight = 0
+
+        host.bind(port, self)
+        if self.cc.needs_epochs:
+            self.sim.schedule(metric_period, self._noop)  # keep heap warm
+            self.sim.schedule(self._epoch_len(), self._epoch_tick)
+        self.sim.schedule(metric_period, self._metric_tick)
+
+    @staticmethod
+    def _noop() -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def submit(self, size: int, *, marked: bool = True, tagged: bool = False,
+               frame_id: int = -1, attrs: AttributeSet | None = None) -> int:
+        """Enqueue one application datagram/frame of ``size`` payload bytes.
+
+        Frames larger than the MSS are segmented; all segments share the
+        frame's marking.  Piggybacked ``attrs`` (the ``cmwritev_attr`` path)
+        are handed to the coordinator immediately -- the attribute describes
+        an adaptation taking effect with this message.  Returns the number
+        of segments queued.
+        """
+        if size <= 0:
+            raise ValueError("datagram size must be positive")
+        if self._finished:
+            raise RuntimeError("submit after finish()")
+        self.last_frame_size = size
+        if attrs:
+            self.coordinator.on_send_attrs(attrs)
+        now = self.sim.now
+        nseg = (size + self.mss - 1) // self.mss
+        remaining = size
+        for i in range(nseg):
+            seg = min(self.mss, remaining)
+            remaining -= seg
+            pkt = Packet(flow_id=self.flow_id, kind=PacketKind.DATA,
+                         size=seg, src=self.host.address, dst=self.peer_addr,
+                         sport=self.port, dport=self.peer_port,
+                         created_at=now, marked=marked, tagged=tagged,
+                         frame_id=frame_id)
+            pkt.last_of_frame = (i == nseg - 1)
+            self._pending.append(pkt)
+            self.backlog_bytes += seg
+        self.stats.submitted_msgs += 1
+        self.stats.submitted_bytes += size
+        self.stats.submitted_segments += nseg
+        self._pump()
+        return nseg
+
+    def finish(self) -> None:
+        """Declare end of application data; ``on_complete`` fires once all
+        submitted data is acknowledged (or locally discarded/skipped)."""
+        self._finished = True
+        self._check_complete()
+
+    @property
+    def inflight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def window_limit(self) -> int:
+        return min(int(self.cc.cwnd), self.rwnd)
+
+    def current_error_ratio(self) -> float:
+        """Most recent period's error ratio (the coordination engine's
+        ``eratio_new`` in Eq. 1)."""
+        if self.metrics.history:
+            return self.metrics.history[-1].error_ratio
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Send as much pending data as the window allows."""
+        sent_any = False
+        while self._pending and self.inflight < self.window_limit:
+            pkt = self._pending[0]
+            if self.discard_unmarked and not pkt.marked:
+                # Conflict-scheme local discard: the datagram never gets a
+                # sequence number and never touches the network.
+                self._pending.popleft()
+                self.backlog_bytes -= pkt.size
+                self.stats.discarded_msgs += 1
+                self.stats.discarded_bytes += pkt.size
+                continue
+            self._pending.popleft()
+            self.backlog_bytes -= pkt.size
+            pkt.seq = self.snd_nxt
+            self.snd_nxt += 1
+            self._window[pkt.seq] = pkt
+            self._transmit(pkt)
+            sent_any = True
+        if sent_any and self._rto_event is None:
+            self._arm_rto()
+        if (self.on_space is not None and not self._finished
+                and self.backlog_bytes < self.low_water_bytes):
+            self.on_space()
+        if self._finished:
+            self._check_complete()
+
+    def _transmit(self, pkt: Packet) -> None:
+        pkt.sent_at = self.sim.now
+        wire = pkt.copy()
+        wire.sent_at = pkt.sent_at
+        if wire.skip:
+            wire.size = 0
+        self.host.send(wire)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += wire.size
+        self.metrics.count_sent()
+        self._epoch_sent += 1
+        if self.inflight > self._epoch_max_inflight:
+            self._epoch_max_inflight = self.inflight
+
+    def _retransmit(self, seq: int, *, timeout: bool) -> None:
+        pkt = self._window.get(seq)
+        if pkt is None:
+            return
+        self.metrics.count_lost()
+        self._epoch_lost += 1
+        if not pkt.skip and self.reliability.allow_skip(
+                pkt, self.stats.skips_sent, self.stats.acked_packets):
+            pkt.skip = True
+            self.stats.skips_sent += 1
+        else:
+            pkt.retransmit += 1
+            self.stats.retransmissions += 1
+        self._transmit(pkt)
+        if timeout:
+            self.stats.timeouts += 1
+
+    # ------------------------------------------------------------------
+    # Receive path (ACKs)
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind != PacketKind.ACK or pkt.flow_id != self.flow_id:
+            return
+        ack = pkt.ack
+        if self.use_eack and pkt.sack:
+            self._sacked.update(s for s in pkt.sack if s >= ack)
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self.inflight > 0:
+            self._on_dup_ack()
+
+    def _on_new_ack(self, ack: int) -> None:
+        newly = ack - self.snd_una
+        sample: float | None = None
+        for s in range(self.snd_una, ack):
+            entry = self._window.pop(s, None)
+            if entry is not None:
+                self.stats.acked_packets += 1
+                self.stats.acked_bytes += entry.size
+                self.metrics.count_acked_bytes(entry.size)
+                if entry.retransmit == 0 and not entry.skip:
+                    sample = self.sim.now - entry.sent_at
+        self.snd_una = ack
+        self._dup_acks = 0
+        if self._sacked:
+            self._sacked = {s for s in self._sacked if s >= ack}
+        if sample is not None:
+            self.rtt.sample(sample)
+        if self._in_recovery:
+            if ack >= self._recover_point:
+                self._in_recovery = False
+                self._repaired.clear()
+                self.cc.on_recovery_exit()
+            elif self.use_eack:
+                # The new head may already have been repaired by the EACK
+                # sweep; retransmitting it again would double-count the loss.
+                if self._repair_eligible(self.snd_una):
+                    self._repaired[self.snd_una] = self.sim.now
+                    self._retransmit(self.snd_una, timeout=False)
+                self._eack_repair(budget=3)
+            else:
+                # NewReno-style partial ACK: the next hole is also lost.
+                self._retransmit(self.snd_una, timeout=False)
+        else:
+            self.cc.on_ack(newly)
+        self._arm_rto()
+        self._pump()
+        self._check_complete()
+
+    def _on_dup_ack(self) -> None:
+        self._dup_acks += 1
+        if self._in_recovery:
+            self.cc.on_dupack_in_recovery()
+            if self.use_eack:
+                self._eack_repair(budget=1)
+            self._pump()
+        elif self._dup_acks == DUP_ACK_THRESHOLD:
+            self.stats.fast_retransmits += 1
+            self._in_recovery = True
+            self._recover_point = self.snd_nxt
+            self.cc.on_fast_retransmit(self.inflight)
+            self._retransmit(self.snd_una, timeout=False)
+            if self.use_eack:
+                self._repaired[self.snd_una] = self.sim.now
+                self._eack_repair(budget=2)
+            self._arm_rto()
+
+    def _repair_eligible(self, seq: int) -> bool:
+        last = self._repaired.get(seq)
+        return last is None or (self.sim.now - last) > self.rtt.rtt
+
+    def _eack_repair(self, budget: int) -> None:
+        """Repair up to ``budget`` holes the EACK information proves lost.
+
+        A sequence number counts as lost once three higher sequence numbers
+        have been selectively acknowledged (the standard SACK reordering
+        guard).  Repairs are paced -- a small budget per ACK event -- so a
+        burst repair does not re-flood the congested queue, and each hole is
+        repaired at most once per recovery episode (the RTO is the backstop
+        for repairs that are lost again).
+        """
+        if not self._sacked or budget <= 0:
+            return
+        ordered = sorted(self._sacked)
+        if len(ordered) < DUP_ACK_THRESHOLD:
+            return
+        threshold = ordered[-DUP_ACK_THRESHOLD]
+        for seq in range(self.snd_una, threshold + 1):
+            if budget <= 0:
+                break
+            if seq in self._sacked or not self._repair_eligible(seq):
+                continue
+            entry = self._window.get(seq)
+            if entry is None:
+                continue
+            self._repaired[seq] = self.sim.now
+            self._retransmit(seq, timeout=False)
+            budget -= 1
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.inflight > 0:
+            self._rto_event = self.sim.schedule(self.rtt.rto, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.inflight == 0:
+            return
+        self.rtt.backoff()
+        self.cc.on_timeout(self.inflight)
+        self._in_recovery = False
+        self._dup_acks = 0
+        self._repaired.clear()
+        self._retransmit(self.snd_una, timeout=True)
+        self._arm_rto()
+
+    def _epoch_len(self) -> float:
+        floor = getattr(self.cc, "min_epoch_s", 0.01)
+        return max(self.rtt.rtt, floor)
+
+    def _epoch_tick(self) -> None:
+        if self._completed:
+            return
+        # Window validation: an application-limited epoch (the window never
+        # came close to full) must not grow the window, or an idle flow
+        # rails its cwnd to the maximum and later dumps a huge burst.
+        app_limited = (self._epoch_lost == 0
+                       and self._epoch_max_inflight
+                       < 0.75 * self.window_limit)
+        if not app_limited:
+            self.cc.on_epoch(self._epoch_sent, self._epoch_lost,
+                             self.rtt.rtt)
+        self._epoch_sent = 0
+        self._epoch_lost = 0
+        self._epoch_max_inflight = 0
+        self._pump()
+        self.sim.schedule(self._epoch_len(), self._epoch_tick)
+
+    #: Minimum packets sent in a period for its error ratio to drive
+    #: application callbacks; a near-idle period's ratio (e.g. 2 lost of 2
+    #: sent = 100%) is statistically meaningless and would trigger wild
+    #: adaptations.
+    MIN_PERIOD_SAMPLES = 8
+
+    def _metric_tick(self) -> None:
+        if self._completed:
+            return
+        pm = self.metrics.roll(self.sim.now, self.rtt.rtt, self.cc.cwnd)
+        if pm.sent >= self.MIN_PERIOD_SAMPLES:
+            results = self.callbacks.evaluate(pm.error_ratio, pm.as_dict())
+            for attrs in results:
+                self.coordinator.on_callback_result(attrs)
+        self._pump()
+        self.sim.schedule(self.metrics.period, self._metric_tick)
+
+    # ------------------------------------------------------------------
+    def _check_complete(self) -> None:
+        if (self._finished and not self._completed and not self._pending
+                and self.snd_una == self.snd_nxt):
+            self._completed = True
+            if self._rto_event is not None:
+                self._rto_event.cancel()
+                self._rto_event = None
+            if self.on_complete is not None:
+                self.on_complete(self.sim.now)
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+
+class WindowedReceiver:
+    """In-order receiver with cumulative ACKs and skip handling.
+
+    ``on_deliver(pkt, time)`` fires for each in-order data packet; skip
+    segments advance the sequence space without a delivery (the adaptive
+    reliability path).
+    """
+
+    #: Out-of-sequence seqs advertised per EACK (bounds ACK "size" growth;
+    #: the wire charge stays ACK_BYTES -- a real EACK packs ranges).
+    EACK_LIMIT = 256
+
+    def __init__(self, sim: Simulator, host: Host, *, port: int,
+                 peer_addr: int, peer_port: int, flow_id: int,
+                 on_deliver: Callable[[Packet, float], None] | None = None,
+                 use_eack: bool = False):
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.peer_addr = peer_addr
+        self.peer_port = peer_port
+        self.flow_id = flow_id
+        self.on_deliver = on_deliver
+        self.use_eack = use_eack
+        self.reorder = ReorderBuffer()
+        self.stats = FlowStats()
+        host.bind(port, self)
+
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        if pkt.flow_id != self.flow_id or pkt.kind != PacketKind.DATA:
+            return
+        verdict = self.reorder.offer(pkt.seq, pkt)
+        if verdict == "inorder":
+            self._consume(pkt)
+            self.reorder.advance()
+            for _seq, buffered in self.reorder.drain():
+                self._consume(buffered)  # type: ignore[arg-type]
+        elif verdict == "dup":
+            self.stats.duplicates += 1
+        self._send_ack()
+
+    def _consume(self, pkt: Packet) -> None:
+        if pkt.skip:
+            self.stats.skipped_received += 1
+            return
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += pkt.size
+        if self.on_deliver is not None:
+            self.on_deliver(pkt, self.sim.now)
+
+    def _send_ack(self) -> None:
+        ack = Packet(flow_id=self.flow_id, kind=PacketKind.ACK,
+                     ack=self.reorder.rcv_nxt, size=0,
+                     src=self.host.address, dst=self.peer_addr,
+                     sport=self.port, dport=self.peer_port,
+                     created_at=self.sim.now)
+        if self.use_eack and len(self.reorder):
+            # RUDP's EACK: advertise out-of-sequence arrivals so the sender
+            # can repair burst losses in one round trip (draft-ietf-sigtran-
+            # reliable-udp, EACK segment).  TCP Reno runs without it.
+            ack.sack = tuple(self.reorder.buffered_seqs()[:self.EACK_LIMIT])
+        self.host.send(ack)

@@ -1,0 +1,62 @@
+"""Adaptive reliability policies (paper section 2.1, mechanism (3)).
+
+IQ-RUDP supports *both* "receiver loss tolerance and sender packet priority
+marking".  The sender marks each datagram (``marked=True`` requires
+delivery); when an unmarked datagram is detected lost, the sender may *skip*
+it -- transmit a zero-payload hole-fill segment so the receiver's cumulative
+sequence advances -- instead of retransmitting the payload, provided the
+receiver's registered loss tolerance is not exceeded.
+
+The tolerance is registered by the receiver as connection state (the
+:data:`~repro.core.attributes.RELIABILITY_TOLERANCE` attribute); enforcement
+happens at the sender, which tracks exactly what has been skipped versus
+delivered.  This is behaviourally identical to receiver-side enforcement in
+a simulator (both ends share fate deterministically) and saves a control
+round trip, matching the paper's library implementation where both ends are
+instrumented.
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+
+__all__ = ["ReliabilityPolicy", "FullReliability", "LossTolerantReliability"]
+
+
+class ReliabilityPolicy:
+    """Decides whether a lost packet may be skipped instead of resent."""
+
+    def allow_skip(self, pkt: Packet, skipped: int, completed: int) -> bool:
+        """May the sender skip this lost packet?
+
+        ``skipped``/``completed`` are lifetime counts of skipped and
+        successfully acknowledged data packets on the connection.
+        """
+        raise NotImplementedError
+
+
+class FullReliability(ReliabilityPolicy):
+    """TCP semantics: every loss is retransmitted."""
+
+    def allow_skip(self, pkt: Packet, skipped: int, completed: int) -> bool:
+        return False
+
+
+class LossTolerantReliability(ReliabilityPolicy):
+    """Skip unmarked losses while total skips stay within ``tolerance``.
+
+    Section 3.3 sets the receiver loss tolerance to 40%: at most 40% of the
+    connection's data packets may be withheld.  Marked (and tagged) packets
+    are always retransmitted.
+    """
+
+    def __init__(self, tolerance: float):
+        if not 0.0 <= tolerance <= 1.0:
+            raise ValueError("tolerance must be in [0,1]")
+        self.tolerance = tolerance
+
+    def allow_skip(self, pkt: Packet, skipped: int, completed: int) -> bool:
+        if pkt.marked or pkt.tagged:
+            return False
+        total = skipped + completed + 1
+        return (skipped + 1) / total <= self.tolerance

@@ -1,0 +1,65 @@
+"""Round-trip-time estimation (RFC 6298 style) with Karn's algorithm.
+
+Shared by TCP and RUDP senders.  The retransmission timeout is the safety net
+under both congestion-control laws; the smoothed RTT also feeds the LDA epoch
+length and the delay metric IQ-RUDP exposes to applications.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RttEstimator"]
+
+
+class RttEstimator:
+    """SRTT/RTTVAR tracker producing a bounded retransmission timeout.
+
+    ``min_rto`` defaults to 200 ms (modern-stack flavour; the RFC's 1 s floor
+    would dominate the paper's 30 ms-RTT experiments and mask the effects
+    being measured).
+    """
+
+    ALPHA = 0.125
+    BETA = 0.25
+    K = 4.0
+
+    def __init__(self, *, min_rto: float = 0.2, max_rto: float = 5.0,
+                 initial_rto: float = 1.0):
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self._rto = initial_rto
+        self._backoff = 1.0
+        self.samples = 0
+
+    # ------------------------------------------------------------------
+    def sample(self, rtt: float) -> None:
+        """Feed one measurement from a never-retransmitted segment (Karn)."""
+        if rtt < 0:
+            raise ValueError("negative RTT sample")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = ((1 - self.BETA) * self.rttvar
+                           + self.BETA * abs(self.srtt - rtt))
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self._rto = self.srtt + self.K * self.rttvar
+        self._backoff = 1.0
+        self.samples += 1
+
+    def backoff(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self._backoff = min(self._backoff * 2.0, 16.0)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, clamped to [min_rto, max_rto]."""
+        return min(max(self._rto * self._backoff, self.min_rto), self.max_rto)
+
+    @property
+    def rtt(self) -> float:
+        """Best RTT estimate (initial guess 0.1 s before any sample)."""
+        return self.srtt if self.srtt is not None else 0.1

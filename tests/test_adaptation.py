@@ -1,0 +1,233 @@
+"""Unit tests for the application adaptation strategies."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import (ADAPT_COND, ADAPT_FREQ, ADAPT_MARK,
+                                   ADAPT_PKTSIZE, ADAPT_WHEN)
+from repro.middleware.adaptation import (DelayedResolutionAdaptation,
+                                         FrequencyAdaptation,
+                                         MarkingAdaptation, NullAdaptation,
+                                         ResolutionAdaptation)
+
+
+class FakeConn:
+    def __init__(self):
+        self.registrations = []
+
+    def register_callbacks(self, **kw):
+        self.registrations.append(kw)
+
+
+def bind(strategy, seed=0):
+    conn = FakeConn()
+    strategy.bind(conn, random.Random(seed))
+    return conn
+
+
+class TestNull:
+    def test_registers_nothing(self):
+        conn = bind(NullAdaptation())
+        assert conn.registrations == []
+
+
+class TestMarking:
+    def test_registers_paper_thresholds(self):
+        strat = MarkingAdaptation()
+        conn = bind(strat)
+        reg = conn.registrations[0]
+        assert reg["upper"] == 0.30 and reg["lower"] == 0.05
+
+    def test_upper_sets_floor_probability(self):
+        """max(40, 1.25*eratio)% -- the paper's unmarking law."""
+        strat = MarkingAdaptation()
+        bind(strat)
+        attrs = strat.on_upper(0.10, {})
+        assert attrs[ADAPT_MARK] == pytest.approx(0.40)
+
+    def test_upper_scales_with_eratio(self):
+        strat = MarkingAdaptation()
+        bind(strat)
+        attrs = strat.on_upper(0.60, {})
+        assert attrs[ADAPT_MARK] == pytest.approx(0.75)
+
+    def test_unmark_probability_capped(self):
+        strat = MarkingAdaptation(max_unmark=0.95)
+        bind(strat)
+        attrs = strat.on_upper(0.99, {})
+        assert attrs[ADAPT_MARK] == 0.95
+
+    def test_lower_backs_off_twenty_percent(self):
+        strat = MarkingAdaptation()
+        bind(strat)
+        strat.on_upper(0.5, {})
+        p0 = strat.unmark_p
+        attrs = strat.on_lower(0.01, {})
+        assert attrs[ADAPT_MARK] == pytest.approx(p0 * 0.8)
+
+    def test_lower_eventually_reaches_zero(self):
+        strat = MarkingAdaptation()
+        bind(strat)
+        strat.on_upper(0.5, {})
+        for _ in range(30):
+            strat.on_lower(0.0, {})
+        assert strat.unmark_p == 0.0
+
+    def test_lower_noop_when_not_adapting(self):
+        strat = MarkingAdaptation()
+        bind(strat)
+        assert strat.on_lower(0.0, {}) is None
+
+    def test_every_fifth_datagram_tagged_and_marked(self):
+        strat = MarkingAdaptation()
+        bind(strat)
+        strat.on_upper(0.5, {})
+        flags = [strat.datagram_flags(i) for i in range(100)]
+        for i in range(0, 100, 5):
+            assert flags[i] == (True, True)
+
+    def test_unmarking_rate_approximates_probability(self):
+        strat = MarkingAdaptation()
+        bind(strat, seed=3)
+        strat.on_upper(0.40, {})  # p = 0.5
+        non_tagged = [strat.datagram_flags(i)[0]
+                      for i in range(2000) if i % 5 != 0]
+        unmarked = sum(1 for m in non_tagged if not m)
+        assert 0.4 < unmarked / len(non_tagged) < 0.6
+
+    def test_no_unmarking_before_adaptation(self):
+        strat = MarkingAdaptation()
+        bind(strat)
+        assert all(strat.datagram_flags(i)[0] for i in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkingAdaptation(tag_every=0)
+
+
+class TestResolution:
+    def test_upper_reduces_by_eratio(self):
+        strat = ResolutionAdaptation()
+        bind(strat)
+        attrs = strat.on_upper(0.2, {"time": 0.0, "rate_bps": 1e6})
+        assert strat.scale == pytest.approx(0.8)
+        assert attrs[ADAPT_PKTSIZE] == pytest.approx(0.2)
+        assert attrs[ADAPT_WHEN] == "now"
+        assert attrs[ADAPT_COND]["error_ratio"] == 0.2
+
+    def test_per_event_cut_capped_at_half(self):
+        strat = ResolutionAdaptation()
+        bind(strat)
+        strat.on_upper(0.97, {"time": 0.0})
+        assert strat.scale == pytest.approx(0.5)
+
+    def test_lower_increases_ten_percent(self):
+        strat = ResolutionAdaptation()
+        bind(strat)
+        strat.on_upper(0.5, {"time": 0.0})
+        attrs = strat.on_lower(0.0, {"time": 10.0})
+        assert strat.scale == pytest.approx(0.55)
+        assert attrs[ADAPT_PKTSIZE] == pytest.approx(-0.10)
+
+    def test_scale_never_exceeds_one(self):
+        strat = ResolutionAdaptation()
+        bind(strat)
+        assert strat.on_lower(0.0, {"time": 0.0}) is None
+        assert strat.scale == 1.0
+
+    def test_scale_floor(self):
+        strat = ResolutionAdaptation(min_scale=0.2)
+        bind(strat)
+        for t in range(20):
+            strat.on_upper(0.5, {"time": t * 100.0})
+        assert strat.scale == pytest.approx(0.2)
+
+    def test_cooldown_limits_cut_rate(self):
+        strat = ResolutionAdaptation(cooldown_s=2.0)
+        bind(strat)
+        strat.on_upper(0.2, {"time": 0.0})
+        s = strat.scale
+        assert strat.on_upper(0.2, {"time": 0.5}) is None
+        assert strat.scale == s
+        strat.on_upper(0.2, {"time": 2.5})
+        assert strat.scale < s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResolutionAdaptation(min_scale=0.0)
+
+
+class TestDelayedResolution:
+    def test_upper_returns_pending_only(self):
+        strat = DelayedResolutionAdaptation(boundary=20)
+        bind(strat)
+        attrs = strat.on_upper(0.3, {"time": 0.0, "rate_bps": 5e5})
+        assert attrs.as_dict() == {ADAPT_WHEN: "pending"}
+        assert strat.scale == 1.0  # nothing applied yet
+
+    def test_decision_sticks_until_boundary(self):
+        """The first decision wins; later callbacks do not overwrite it
+        (the app has already prepared its adaptation)."""
+        strat = DelayedResolutionAdaptation(boundary=20)
+        bind(strat)
+        strat.on_upper(0.3, {"time": 0.0})
+        assert strat.on_upper(0.5, {"time": 0.5}) is None
+        attrs = strat.frame_attrs(20)
+        assert attrs[ADAPT_COND]["error_ratio"] == 0.3
+
+    def test_applied_only_at_boundary_frames(self):
+        strat = DelayedResolutionAdaptation(boundary=20)
+        bind(strat)
+        strat.on_upper(0.3, {"time": 0.0})
+        for idx in range(1, 20):
+            assert strat.frame_attrs(idx) is None
+        attrs = strat.frame_attrs(20)
+        assert attrs is not None
+        assert strat.scale == pytest.approx(0.7)
+        assert strat.applied_adaptations == 1
+
+    def test_pending_cleared_after_apply(self):
+        strat = DelayedResolutionAdaptation(boundary=20)
+        bind(strat)
+        strat.on_upper(0.3, {"time": 0.0})
+        strat.frame_attrs(20)
+        assert strat.frame_attrs(40) is None
+
+    def test_lower_also_deferred(self):
+        strat = DelayedResolutionAdaptation(boundary=20)
+        bind(strat)
+        strat.on_upper(0.3, {"time": 0.0})
+        strat.frame_attrs(20)
+        attrs = strat.on_lower(0.0, {"time": 5.0})
+        assert attrs[ADAPT_WHEN] == "pending"
+        strat.frame_attrs(40)
+        assert strat.scale == pytest.approx(0.77)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayedResolutionAdaptation(boundary=0)
+
+
+class TestFrequency:
+    def test_upper_reduces_frequency(self):
+        strat = FrequencyAdaptation()
+        bind(strat)
+        attrs = strat.on_upper(0.2, {})
+        assert strat.freq_scale == pytest.approx(0.8)
+        assert attrs[ADAPT_FREQ] == pytest.approx(0.2)
+        assert ADAPT_PKTSIZE not in attrs
+
+    def test_lower_recovers(self):
+        strat = FrequencyAdaptation()
+        bind(strat)
+        strat.on_upper(0.5, {})
+        strat.on_lower(0.0, {})
+        assert strat.freq_scale == pytest.approx(0.55)
+
+    def test_floor(self):
+        strat = FrequencyAdaptation(min_freq=0.25)
+        bind(strat)
+        for _ in range(20):
+            strat.on_upper(0.5, {})
+        assert strat.freq_scale == 0.25

@@ -1,0 +1,182 @@
+"""Unit tests for the adaptive application source and delivery log."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.attributes import ADAPT_PKTSIZE, AttributeSet
+from repro.middleware.adaptation import (MarkingAdaptation, NullAdaptation,
+                                         ResolutionAdaptation)
+from repro.middleware.application import AdaptiveSource
+from repro.middleware.receiver import DeliveryLog
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+
+class StubConn:
+    """Records submits; no network."""
+
+    def __init__(self):
+        self.submits = []
+        self.finished = False
+
+    def submit(self, size, *, marked=True, tagged=False, frame_id=-1,
+               attrs=None):
+        self.submits.append((size, marked, tagged, frame_id, attrs))
+        return 1
+
+    def finish(self):
+        self.finished = True
+
+    def register_callbacks(self, **kw):
+        pass
+
+
+def make_source(**kw):
+    sim = Simulator()
+    conn = StubConn()
+    defaults = dict(strategy=NullAdaptation(), rng=random.Random(0))
+    defaults.update(kw)
+    src = AdaptiveSource(sim, conn, **defaults)
+    return sim, conn, src
+
+
+class TestClockedMode:
+    def test_emits_frames_at_fixed_rate(self):
+        sim, conn, src = make_source(base_frame_size=1000, n_frames=10,
+                                     frame_rate=10.0)
+        src.start()
+        sim.run()
+        assert len(conn.submits) == 10
+        assert conn.finished
+        assert sim.now == pytest.approx(0.9)  # 10 frames, 0.1 s apart
+
+    def test_trace_sizes_used_in_order(self):
+        sizes = [100, 200, 300]
+        sim, conn, src = make_source(frame_sizes=sizes, frame_rate=10.0)
+        src.start()
+        sim.run()
+        assert [s[0] for s in conn.submits] == sizes
+
+    def test_strategy_scale_applied(self):
+        strat = ResolutionAdaptation()
+        sim, conn, src = make_source(base_frame_size=1000, n_frames=3,
+                                     frame_rate=10.0, strategy=strat)
+        strat.scale = 0.5
+        src.start()
+        sim.run()
+        assert all(s[0] == 500 for s in conn.submits)
+
+    def test_frame_ids_sequential(self):
+        sim, conn, src = make_source(base_frame_size=100, n_frames=5,
+                                     frame_rate=10.0)
+        src.start()
+        sim.run()
+        assert [s[3] for s in conn.submits] == list(range(5))
+
+    def test_frequency_scale_slows_clock(self):
+        strat = NullAdaptation()
+        sim, conn, src = make_source(base_frame_size=100, n_frames=3,
+                                     frame_rate=10.0, strategy=strat)
+        strat.freq_scale = 0.5  # half frequency -> 0.2 s interval
+        src.start()
+        sim.run()
+        assert sim.now == pytest.approx(0.4)
+
+
+class TestGreedyMode:
+    def test_pump_respects_workload_bound(self):
+        sim, conn, src = make_source(base_frame_size=1400, n_frames=40,
+                                     frame_rate=None)
+        src.start()
+        sim.run()
+        # First pump emits a batch; follow-up pumps continue.
+        while not src.done:
+            src.pump()
+        assert len(conn.submits) == 40
+        assert conn.finished
+
+    def test_pump_inert_before_start(self):
+        sim, conn, src = make_source(base_frame_size=1400, n_frames=10,
+                                     frame_rate=None)
+        src.pump()
+        assert conn.submits == []
+
+
+class TestMarkingMode:
+    def test_frames_split_into_marked_datagrams(self):
+        strat = MarkingAdaptation()
+        sim, conn, src = make_source(base_frame_size=4200, n_frames=2,
+                                     frame_rate=10.0, strategy=strat,
+                                     mss=1400)
+        src.start()
+        sim.run()
+        assert len(conn.submits) == 6  # 2 frames x 3 datagrams
+        # Global datagram counter: every 5th datagram tagged.
+        tagged = [s[2] for s in conn.submits]
+        assert tagged == [True, False, False, False, False, True]
+
+
+class TestValidation:
+    def test_needs_some_size_spec(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            AdaptiveSource(sim, StubConn())
+
+    def test_double_start_rejected(self):
+        sim, conn, src = make_source(base_frame_size=100, n_frames=1,
+                                     frame_rate=10.0)
+        src.start()
+        with pytest.raises(RuntimeError):
+            src.start()
+
+
+class TestDeliveryLog:
+    def pkt(self, *, size=100, tagged=False, frame_id=0, last=True,
+            created=0.0):
+        p = Packet(flow_id=1, size=size, tagged=tagged, frame_id=frame_id,
+                   created_at=created)
+        p.last_of_frame = last
+        return p
+
+    def test_counts_and_bytes(self):
+        log = DeliveryLog()
+        log.on_deliver(self.pkt(size=10), 1.0)
+        log.on_deliver(self.pkt(size=20), 2.0)
+        assert len(log) == 2
+        assert log.total_bytes == 30
+        assert log.first_time == 1.0 and log.last_time == 2.0
+
+    def test_message_times_use_last_segment(self):
+        log = DeliveryLog()
+        log.on_deliver(self.pkt(frame_id=0, last=False), 1.0)
+        log.on_deliver(self.pkt(frame_id=0, last=True), 1.5)
+        log.on_deliver(self.pkt(frame_id=1, last=True), 2.0)
+        assert list(log.message_times()) == [1.5, 2.0]
+
+    def test_tagged_times(self):
+        log = DeliveryLog()
+        log.on_deliver(self.pkt(tagged=True), 1.0)
+        log.on_deliver(self.pkt(tagged=False), 2.0)
+        log.on_deliver(self.pkt(tagged=True), 3.0)
+        assert list(log.tagged_times()) == [1.0, 3.0]
+
+    def test_one_way_delays(self):
+        log = DeliveryLog()
+        log.on_deliver(self.pkt(created=0.5), 1.0)
+        assert log.one_way_delays()[0] == pytest.approx(0.5)
+
+    def test_jitter_series_length(self):
+        log = DeliveryLog()
+        for t in (1.0, 2.0, 2.5, 4.0):
+            log.on_deliver(self.pkt(), t)
+        js = log.jitter_series()
+        assert js.size == 3
+        assert np.all(js >= 0)
+
+    def test_empty_log_degenerates_gracefully(self):
+        log = DeliveryLog()
+        assert log.duration == 0.0
+        assert log.interarrivals().size == 0
+        assert log.jitter_series().size == 0

@@ -1,0 +1,104 @@
+"""Unit tests for threshold callbacks (level- and edge-triggered)."""
+
+import pytest
+
+from repro.core.attributes import AttributeSet
+from repro.core.callbacks import CallbackRegistry
+
+
+def make_recording_registry(**kw):
+    reg = CallbackRegistry()
+    events = []
+
+    def up(e, m):
+        events.append(("up", e))
+        return AttributeSet({"X": e})
+
+    def down(e, m):
+        events.append(("down", e))
+        return AttributeSet({"Y": e})
+
+    reg.register(upper=0.3, lower=0.05, on_upper=up, on_lower=down, **kw)
+    return reg, events
+
+
+def test_threshold_validation():
+    reg = CallbackRegistry()
+    with pytest.raises(ValueError):
+        reg.register(upper=0.05, lower=0.3)
+    with pytest.raises(ValueError):
+        reg.register(upper=1.5, lower=0.0)
+
+
+def test_upper_fires_at_threshold():
+    reg, events = make_recording_registry()
+    out = reg.evaluate(0.3, {})
+    assert events == [("up", 0.3)]
+    assert out and out[0]["X"] == 0.3
+
+
+def test_level_triggered_refires_every_period():
+    reg, events = make_recording_registry()
+    reg.evaluate(0.4, {})
+    reg.evaluate(0.5, {})
+    assert [e[0] for e in events] == ["up", "up"]
+
+
+def test_lower_fires_at_or_below():
+    reg, events = make_recording_registry()
+    reg.evaluate(0.05, {})
+    reg.evaluate(0.0, {})
+    assert [e[0] for e in events] == ["down", "down"]
+
+
+def test_dead_zone_fires_nothing():
+    reg, events = make_recording_registry()
+    reg.evaluate(0.1, {})
+    reg.evaluate(0.2, {})
+    assert events == []
+
+
+def test_edge_triggered_fires_once_per_crossing():
+    reg, events = make_recording_registry(edge_triggered=True)
+    reg.evaluate(0.4, {})
+    reg.evaluate(0.5, {})   # still congested: no re-fire
+    reg.evaluate(0.1, {})   # dead zone
+    reg.evaluate(0.01, {})  # crossing down
+    reg.evaluate(0.01, {})  # still calm: no re-fire
+    reg.evaluate(0.6, {})   # crossing up again
+    assert [e[0] for e in events] == ["up", "down", "up"]
+
+
+def test_none_results_are_skipped():
+    reg = CallbackRegistry()
+    reg.register(upper=0.3, lower=0.05, on_upper=lambda e, m: None)
+    assert reg.evaluate(0.5, {}) == []
+
+
+def test_multiple_registrations_all_evaluated():
+    reg = CallbackRegistry()
+    fired = []
+    reg.register(upper=0.3, lower=0.05,
+                 on_upper=lambda e, m: fired.append(1) or None)
+    reg.register(upper=0.1, lower=0.01,
+                 on_upper=lambda e, m: fired.append(2) or None)
+    reg.evaluate(0.2, {})
+    assert fired == [2]
+    reg.evaluate(0.5, {})
+    assert fired == [2, 1, 2]
+
+
+def test_fired_counters_count_only_registered_handlers():
+    reg, _ = make_recording_registry()
+    reg.evaluate(0.5, {})
+    reg.evaluate(0.01, {})
+    assert reg.fired_upper == 1 and reg.fired_lower == 1
+
+
+def test_metrics_dict_passed_through():
+    reg = CallbackRegistry()
+    seen = {}
+    reg.register(upper=0.3, lower=0.05,
+                 on_upper=lambda e, m: seen.update(m) or None)
+    reg.evaluate(0.5, {"rate_bps": 123.0})
+    assert seen["rate_bps"] == 123.0

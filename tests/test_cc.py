@@ -1,0 +1,165 @@
+"""Unit tests for the congestion-control laws (Reno, LDA, fixed window)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.cc import FixedWindowCC, RenoCC
+from repro.transport.lda import LdaCC
+
+
+class TestReno:
+    def test_slow_start_doubles_per_window(self):
+        cc = RenoCC(initial_cwnd=2, initial_ssthresh=64)
+        cc.on_ack(2)
+        assert cc.cwnd == 4.0
+
+    def test_congestion_avoidance_linear(self):
+        cc = RenoCC(initial_cwnd=10, initial_ssthresh=5)
+        before = cc.cwnd
+        cc.on_ack(1)
+        assert cc.cwnd == pytest.approx(before + 1.0 / before)
+
+    def test_fast_retransmit_halves(self):
+        cc = RenoCC(initial_cwnd=20, initial_ssthresh=64)
+        cc.on_fast_retransmit(inflight=20)
+        assert cc.ssthresh == 10.0
+        assert cc.cwnd == 13.0  # ssthresh + 3 (inflation)
+
+    def test_recovery_inflation_and_exit(self):
+        cc = RenoCC(initial_cwnd=20)
+        cc.on_fast_retransmit(inflight=20)
+        cc.on_dupack_in_recovery()
+        cc.on_dupack_in_recovery()
+        assert cc.cwnd == 15.0
+        cc.on_recovery_exit()
+        assert cc.cwnd == 10.0
+
+    def test_timeout_collapses_to_min(self):
+        cc = RenoCC(initial_cwnd=30)
+        cc.on_timeout(inflight=30)
+        assert cc.cwnd == cc.min_cwnd
+        assert cc.ssthresh == 15.0
+
+    def test_ssthresh_floor_is_two(self):
+        cc = RenoCC(initial_cwnd=2)
+        cc.on_timeout(inflight=1)
+        assert cc.ssthresh == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RenoCC(initial_cwnd=0)
+
+
+class TestLda:
+    def test_needs_epochs(self):
+        assert LdaCC.needs_epochs and not RenoCC.needs_epochs
+
+    def test_acks_do_not_change_window(self):
+        cc = LdaCC(initial_cwnd=10, initial_ssthresh=5)
+        cc.on_ack(100)
+        assert cc.cwnd == 10.0
+
+    def test_lossfree_epoch_grows_additively_after_startup(self):
+        cc = LdaCC(initial_cwnd=10, initial_ssthresh=5)
+        cc.on_epoch(sent=100, lost=0, rtt=0.03)
+        assert cc.cwnd == 11.0
+
+    def test_startup_doubles(self):
+        cc = LdaCC(initial_cwnd=2, initial_ssthresh=64)
+        cc.on_epoch(sent=10, lost=0, rtt=0.03)
+        assert cc.cwnd == 4.0
+
+    def test_loss_epoch_decreases_proportionally(self):
+        cc = LdaCC(initial_cwnd=100, initial_ssthresh=5)
+        cc.on_epoch(sent=100, lost=10, rtt=0.03)
+        assert cc.cwnd == pytest.approx(90.0)
+
+    def test_decrease_capped(self):
+        cc = LdaCC(initial_cwnd=100, initial_ssthresh=5, max_decrease=0.5)
+        cc.on_epoch(sent=100, lost=90, rtt=0.03)
+        assert cc.cwnd == pytest.approx(50.0)
+
+    def test_cooldown_prevents_compounding(self):
+        """A loss burst straddling two epochs must cut the window once."""
+        cc = LdaCC(initial_cwnd=100, initial_ssthresh=5)
+        cc.on_epoch(sent=100, lost=30, rtt=0.03)
+        after_first = cc.cwnd
+        cc.on_epoch(sent=100, lost=30, rtt=0.03)  # cooldown epoch
+        assert cc.cwnd == after_first
+        cc.on_epoch(sent=100, lost=30, rtt=0.03)  # cuts again
+        assert cc.cwnd < after_first
+
+    def test_lossfree_epoch_clears_cooldown(self):
+        cc = LdaCC(initial_cwnd=100, initial_ssthresh=5)
+        cc.on_epoch(sent=100, lost=30, rtt=0.03)
+        cc.on_epoch(sent=100, lost=0, rtt=0.03)
+        w = cc.cwnd
+        cc.on_epoch(sent=100, lost=30, rtt=0.03)
+        assert cc.cwnd < w
+
+    def test_empty_epoch_ignored(self):
+        cc = LdaCC(initial_cwnd=10, initial_ssthresh=5)
+        cc.on_epoch(sent=0, lost=0, rtt=0.03)
+        assert cc.cwnd == 10.0
+
+    def test_timeout_enters_ramp(self):
+        cc = LdaCC(initial_cwnd=40, initial_ssthresh=5)
+        cc.on_timeout(inflight=40)
+        assert cc.cwnd == cc.min_cwnd
+        assert cc.ssthresh == 20.0
+        # Doubling ramp back toward ssthresh.
+        cc.on_epoch(sent=10, lost=0, rtt=0.03)  # cooldown clears, doubles
+        cc.on_epoch(sent=10, lost=0, rtt=0.03)
+        assert cc.cwnd > cc.min_cwnd
+
+    def test_min_cwnd_floor(self):
+        cc = LdaCC(initial_cwnd=2)
+        for _ in range(10):
+            cc.on_epoch(sent=10, lost=9, rtt=0.03)
+        assert cc.cwnd >= cc.min_cwnd
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.integers(min_value=0, max_value=1000)),
+                    max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_window_bounded_under_any_epoch_sequence(self, epochs):
+        """Invariant: the window stays within [min_cwnd, max_cwnd]."""
+        cc = LdaCC(initial_cwnd=4, max_cwnd=256)
+        for sent, lost in epochs:
+            cc.on_epoch(sent=sent, lost=min(lost, sent), rtt=0.03)
+            assert cc.min_cwnd <= cc.cwnd <= cc.max_cwnd
+
+
+class TestScaleWindow:
+    def test_scale_clamps_per_event(self):
+        cc = LdaCC(initial_cwnd=10, initial_ssthresh=5)
+        cc.scale_window(100.0)
+        assert cc.cwnd == 40.0  # factor clamped to 4x
+
+    def test_scale_down_clamped(self):
+        cc = LdaCC(initial_cwnd=10)
+        cc.scale_window(0.01)
+        assert cc.cwnd == pytest.approx(2.5)  # 0.25x floor
+
+    def test_scale_respects_bounds(self):
+        cc = LdaCC(initial_cwnd=2, min_cwnd=2)
+        cc.scale_window(0.25)
+        assert cc.cwnd == 2.0
+
+    def test_reinflation_matches_resolution_cut(self):
+        """w * 1/(1-rate_chg) restores the byte rate after a size cut."""
+        cc = LdaCC(initial_cwnd=30, initial_ssthresh=5)
+        rate_chg = 0.25
+        cc.scale_window(1.0 / (1.0 - rate_chg))
+        assert cc.cwnd == pytest.approx(40.0)
+
+
+class TestFixedWindow:
+    def test_window_immutable(self):
+        cc = FixedWindowCC(32)
+        cc.on_ack(100)
+        cc.on_timeout(10)
+        cc.on_fast_retransmit(10)
+        cc.scale_window(2.0)
+        assert cc.cwnd == 32.0

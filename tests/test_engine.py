@@ -1,0 +1,221 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5]
+    assert sim.now == 1.5
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_priority_orders_simultaneous_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "late", priority=1)
+    sim.schedule(1.0, seen.append, "early", priority=-1)
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_run_until_stops_and_leaves_clock_at_until():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(10.0, seen.append, 2)
+    fired = sim.run(until=5.0)
+    assert fired == 1 and seen == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_run_until_composes():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0):
+        sim.at(t, seen.append, t)
+    sim.run(until=1.5)
+    sim.run(until=2.5)
+    sim.run(until=3.5)
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(1.0, seen.append, "x")
+    ev.cancel()
+    sim.run()
+    assert seen == [] and not ev.alive
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_event_not_alive_after_firing():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    assert ev.alive
+    sim.run()
+    assert not ev.alive
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(1.0, seen.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["second"] and sim.now == 2.0
+
+
+def test_call_soon_runs_at_current_instant():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.call_soon(seen.append, sim.now))
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_step_fires_one_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(2.0, seen.append, 2)
+    assert sim.step() and seen == [1]
+    assert sim.step() and seen == [1, 2]
+    assert not sim.step()
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.schedule(2.0, seen.append, 2)
+    sim.run()
+    assert seen == [1]
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(float(i + 1), seen.append, i)
+    assert sim.run(max_events=3) == 3
+    assert seen == [0, 1, 2]
+
+
+def test_pending_and_peek():
+    sim = Simulator()
+    assert sim.peek() is None and sim.pending() == 0
+    ev = sim.schedule(2.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    assert sim.peek() == 1.0 and sim.pending() == 2
+    ev.cancel()
+    assert sim.pending() == 1
+
+
+def test_peek_skips_cancelled_head():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 2.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_events_always_fire_in_time_order(delays):
+    """Property: regardless of scheduling order, callbacks observe a
+    non-decreasing clock."""
+    sim = Simulator()
+    observed = []
+    for d in delays:
+        sim.schedule(d, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.integers(min_value=-3, max_value=3)),
+                min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_priority_respected_within_instant(items):
+    sim = Simulator()
+    fired = []
+    for t, prio in items:
+        sim.at(t, fired.append, (t, prio), priority=prio)
+    sim.run()
+    # Within each distinct time, priorities must be non-decreasing.
+    for a, b in zip(fired, fired[1:]):
+        if a[0] == b[0]:
+            assert a[1] <= b[1] or items.index(a) < items.index(b) \
+                if a[1] == b[1] else a[1] <= b[1]

@@ -1,0 +1,107 @@
+"""Failure-injection integration tests: link flaps, blackouts, ACK storms.
+
+The paper's testbed never fails mid-experiment; a production transport
+must survive anyway.  These tests drive the full stack through outages and
+verify reliability semantics hold afterwards."""
+
+import random
+
+import pytest
+
+from repro.middleware.receiver import DeliveryLog
+from repro.sim.engine import Simulator
+from repro.sim.link import BernoulliLoss
+from repro.sim.topology import Dumbbell
+from repro.transport.rudp import RudpConnection
+from repro.transport.tcp import TcpConnection
+
+
+def make(cls=RudpConnection, **kw):
+    sim = Simulator()
+    net = Dumbbell(sim)
+    snd, rcv = net.add_flow_hosts("f")
+    log = DeliveryLog()
+    conn = cls(sim, snd, rcv, on_deliver=log.on_deliver, **kw)
+    return sim, net, conn, log
+
+
+@pytest.mark.parametrize("cls", [TcpConnection, RudpConnection])
+def test_forward_link_blackout_and_recovery(cls):
+    """A 2-second bottleneck outage mid-transfer: the flow stalls, then
+    recovers and delivers everything exactly once."""
+    sim, net, conn, log = make(cls)
+    for i in range(500):
+        conn.submit(1400, frame_id=i)
+    conn.finish()
+    sim.at(0.2, net.forward.fail)
+    sim.at(2.2, net.forward.recover)
+    sim.run(until=120.0)
+    assert conn.completed
+    assert list(log.frame_ids) == list(range(500))
+    assert conn.sender.stats.timeouts > 0  # it really stalled
+
+
+def test_reverse_link_blackout_stalls_ack_clock():
+    sim, net, conn, log = make()
+    for i in range(300):
+        conn.submit(1400, frame_id=i)
+    conn.finish()
+    sim.at(0.2, net.backward.fail)
+    sim.at(1.7, net.backward.recover)
+    sim.run(until=120.0)
+    assert conn.completed
+    assert list(log.frame_ids) == list(range(300))
+
+
+def test_repeated_flapping():
+    sim, net, conn, log = make()
+    for i in range(400):
+        conn.submit(1400, frame_id=i)
+    conn.finish()
+    for k in range(5):
+        sim.at(0.3 + k * 1.0, net.forward.fail)
+        sim.at(0.8 + k * 1.0, net.forward.recover)
+    sim.run(until=180.0)
+    assert conn.completed
+    assert list(log.frame_ids) == list(range(400))
+
+
+def test_blackout_respects_marking_semantics():
+    """During an outage, unmarked datagrams may be skipped but marked ones
+    must still arrive after recovery."""
+    sim, net, conn, log = make(loss_tolerance=0.8)
+    n = 400
+    for i in range(n):
+        conn.submit(1400, marked=(i % 4 == 0), frame_id=i)
+    conn.finish()
+    sim.at(0.2, net.forward.fail)
+    sim.at(1.2, net.forward.recover)
+    sim.run(until=120.0)
+    assert conn.completed
+    delivered = set(log.frame_ids)
+    assert all(i in delivered for i in range(0, n, 4))
+
+
+def test_extreme_bidirectional_loss_eventually_completes():
+    sim, net, conn, log = make()
+    rng = random.Random(11)
+    net.forward.loss = BernoulliLoss(0.25, rng)
+    net.backward.loss = BernoulliLoss(0.25, rng)
+    for i in range(100):
+        conn.submit(1400, frame_id=i)
+    conn.finish()
+    sim.run(until=300.0)
+    assert conn.completed
+    assert list(log.frame_ids) == list(range(100))
+
+
+def test_metrics_reflect_outage():
+    sim, net, conn, log = make(metric_period=0.2)
+    for i in range(800):
+        conn.submit(1400, frame_id=i)
+    conn.finish()
+    sim.at(0.3, net.forward.fail)
+    sim.at(1.3, net.forward.recover)
+    sim.run(until=120.0)
+    history = conn.sender.metrics.history
+    assert max(pm.error_ratio for pm in history) > 0.1

@@ -1,0 +1,75 @@
+"""Multi-flow fairness and coexistence tests.
+
+The paper's core constraint on IQ-RUDP is that coordination must not
+violate "fairness in network resource usage".  These tests run several
+flows over one bottleneck and check bandwidth shares directly.
+"""
+
+import pytest
+
+from repro.middleware.receiver import DeliveryLog
+from repro.sim.engine import Simulator
+from repro.sim.topology import Dumbbell
+from repro.traffic.bulk import BulkSource
+from repro.transport.rudp import RudpConnection
+from repro.transport.tcp import TcpConnection
+
+
+def jain_index(shares):
+    s = sum(shares)
+    sq = sum(x * x for x in shares)
+    return s * s / (len(shares) * sq) if sq else 0.0
+
+
+def run_flows(flow_classes, *, duration=30.0, bottleneck=20e6):
+    """Greedy bulk flows of the given classes; returns delivered bytes."""
+    sim = Simulator()
+    net = Dumbbell(sim, bottleneck_bps=bottleneck)
+    logs = []
+    for k, cls in enumerate(flow_classes):
+        snd, rcv = net.add_flow_hosts(f"f{k}")
+        log = DeliveryLog()
+        conn = cls(sim, snd, rcv, port=6000 + k, on_deliver=log.on_deliver)
+        bulk = BulkSource(conn, chunk_bytes=1400)
+        conn.sender.on_space = bulk.pump
+        sim.at(0.0, bulk.start)
+        logs.append(log)
+    sim.run(until=duration)
+    return [log.total_bytes for log in logs]
+
+
+def test_two_rudp_flows_share_fairly():
+    a, b = run_flows([RudpConnection, RudpConnection])
+    assert jain_index([a, b]) > 0.85
+
+
+def test_four_rudp_flows_all_make_progress():
+    """With four flows, LDA's slow (report-interval) feedback shows real
+    late-comer unfairness on a drop-tail queue -- the paper itself hedges
+    that fair convergence needs 'a sufficient degree of multiplexing'.
+    Require moderate fairness and universal progress, not equality."""
+    shares = run_flows([RudpConnection] * 4, duration=60.0)
+    assert jain_index(shares) > 0.5
+    assert min(shares) > 1_000_000  # ~0.1 Mb/s floor: nobody starves
+
+
+def test_rudp_coexists_with_tcp():
+    """Paper Table 2's constraint: RUDP must neither starve nor be starved
+    by TCP; shares within a factor ~3 of each other."""
+    rudp_bytes, tcp_bytes = run_flows([RudpConnection, TcpConnection])
+    assert rudp_bytes > 0 and tcp_bytes > 0
+    ratio = rudp_bytes / tcp_bytes
+    assert 1 / 3 < ratio < 3
+
+
+def test_aggregate_utilization_near_capacity():
+    shares = run_flows([RudpConnection, RudpConnection], duration=20.0)
+    total_bits = sum(shares) * 8
+    # Payload bits over 20 s on a 20 Mb link; headers/acks/retransmissions
+    # explain the gap to 1.0.
+    assert total_bits / (20e6 * 20.0) > 0.6
+
+
+def test_two_tcp_flows_share_fairly():
+    shares = run_flows([TcpConnection, TcpConnection])
+    assert jain_index(shares) > 0.85

@@ -1,0 +1,76 @@
+"""Unit tests for transport metric measurement/export."""
+
+import pytest
+
+from repro.core.attributes import (NET_CWND, NET_ERROR_RATIO, NET_RATE,
+                                   NET_RTT, AttributeService)
+from repro.core.metrics_export import MetricsWindow, PeriodMetrics
+
+
+def test_period_validation():
+    with pytest.raises(ValueError):
+        MetricsWindow(0.0)
+
+
+def test_error_ratio_and_rate():
+    mw = MetricsWindow(0.5)
+    mw.count_sent(100)
+    mw.count_lost(10)
+    mw.count_acked_bytes(50_000)
+    pm = mw.roll(now=0.5, rtt=0.03, cwnd=12.0)
+    assert pm.error_ratio == pytest.approx(0.1)
+    assert pm.rate_bps == pytest.approx(50_000 * 8 / 0.5)
+    assert pm.rtt == 0.03 and pm.cwnd == 12.0
+
+
+def test_roll_resets_period_counters():
+    mw = MetricsWindow(1.0)
+    mw.count_sent(10)
+    mw.count_lost(5)
+    mw.roll(1.0, 0.03, 4.0)
+    pm = mw.roll(2.0, 0.03, 4.0)
+    assert pm.sent == 0 and pm.lost == 0 and pm.error_ratio == 0.0
+
+
+def test_lifetime_counters_persist():
+    mw = MetricsWindow(1.0)
+    mw.count_sent(10)
+    mw.count_lost(2)
+    mw.roll(1.0, 0.03, 4.0)
+    mw.count_sent(10)
+    mw.roll(2.0, 0.03, 4.0)
+    assert mw.total_sent == 20 and mw.total_lost == 2
+    assert mw.lifetime_error_ratio == pytest.approx(0.1)
+
+
+def test_idle_period_error_ratio_zero():
+    mw = MetricsWindow(1.0)
+    pm = mw.roll(1.0, 0.03, 4.0)
+    assert pm.error_ratio == 0.0 and pm.rate_bps == 0.0
+
+
+def test_history_accumulates():
+    mw = MetricsWindow(1.0)
+    for t in (1.0, 2.0, 3.0):
+        mw.roll(t, 0.03, 4.0)
+    assert [pm.time for pm in mw.history] == [1.0, 2.0, 3.0]
+
+
+def test_publishes_into_service():
+    svc = AttributeService()
+    mw = MetricsWindow(0.5, svc)
+    mw.count_sent(10)
+    mw.count_lost(5)
+    mw.count_acked_bytes(1000)
+    mw.roll(0.5, 0.04, 7.0)
+    assert svc.query(NET_ERROR_RATIO) == pytest.approx(0.5)
+    assert svc.query(NET_RATE) == pytest.approx(16000.0)
+    assert svc.query(NET_RTT) == 0.04
+    assert svc.query(NET_CWND) == 7.0
+
+
+def test_as_dict_keys():
+    pm = PeriodMetrics(1.0, 10, 1, 100, 0.5, 0.03, 4.0)
+    d = pm.as_dict()
+    assert set(d) == {"time", "sent", "lost", "error_ratio", "rate_bps",
+                      "rtt", "cwnd"}

@@ -1,0 +1,54 @@
+"""Unit tests for the packet model."""
+
+from repro.sim.packet import ACK_BYTES, HEADER_BYTES, Packet, PacketKind
+
+
+def test_defaults():
+    p = Packet(flow_id=1)
+    assert p.kind == PacketKind.DATA
+    assert p.marked and not p.tagged
+    assert p.retransmit == 0
+    assert not p.skip
+    assert p.last_of_frame
+
+
+def test_wire_size_includes_header():
+    p = Packet(flow_id=1, size=1400)
+    assert p.wire_size == 1400 + HEADER_BYTES
+
+
+def test_ack_constants():
+    assert ACK_BYTES == HEADER_BYTES == 40
+
+
+def test_kind_predicates():
+    assert Packet(flow_id=1, kind=PacketKind.DATA).is_data
+    assert Packet(flow_id=1, kind=PacketKind.ACK).is_ack
+    assert not Packet(flow_id=1, kind=PacketKind.ACK).is_data
+
+
+def test_copy_preserves_fields():
+    p = Packet(flow_id=3, seq=17, ack=4, size=900, src=1, dst=2, sport=5,
+               dport=6, created_at=1.5, marked=False, tagged=True,
+               frame_id=9, attrs={"A": 1})
+    p.retransmit = 2
+    p.skip = True
+    p.last_of_frame = False
+    q = p.copy()
+    for field in ("flow_id", "seq", "ack", "size", "src", "dst", "sport",
+                  "dport", "created_at", "marked", "tagged", "frame_id",
+                  "retransmit", "skip", "last_of_frame"):
+        assert getattr(q, field) == getattr(p, field), field
+    assert q.attrs is p.attrs  # shallow: attributes are shared
+    assert q is not p
+
+
+def test_copy_is_independent_for_mutation():
+    p = Packet(flow_id=1, seq=5)
+    q = p.copy()
+    q.retransmit = 99
+    assert p.retransmit == 0
+
+
+def test_repr_smoke():
+    assert "seq=7" in repr(Packet(flow_id=1, seq=7))

@@ -1,0 +1,102 @@
+"""Property-based end-to-end transport invariants (hypothesis).
+
+The central reliability contract: whatever the loss pattern, a fully
+reliable transport delivers every submitted byte exactly once, in order;
+a loss-tolerant transport never withholds marked data and never exceeds
+its skip budget.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.receiver import DeliveryLog
+from repro.sim.engine import Simulator
+from repro.sim.link import BernoulliLoss
+from repro.sim.topology import Dumbbell
+from repro.transport.rudp import RudpConnection
+from repro.transport.tcp import TcpConnection
+
+FAST = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def run_transfer(cls, *, sizes, fwd_loss=0.0, bwd_loss=0.0, seed=0,
+                 queue_pkts=16, **kw):
+    sim = Simulator()
+    net = Dumbbell(sim, queue_pkts=queue_pkts)
+    if fwd_loss:
+        net.forward.loss = BernoulliLoss(fwd_loss, random.Random(seed))
+    if bwd_loss:
+        net.backward.loss = BernoulliLoss(bwd_loss, random.Random(seed + 1))
+    snd, rcv = net.add_flow_hosts("p")
+    log = DeliveryLog()
+    conn = cls(sim, snd, rcv, on_deliver=log.on_deliver, **kw)
+    for i, size in enumerate(sizes):
+        conn.submit(size, frame_id=i)
+    conn.finish()
+    sim.run(until=600.0)
+    return conn, log
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=6000),
+                      min_size=1, max_size=60),
+       fwd=st.sampled_from([0.0, 0.05, 0.15]),
+       seed=st.integers(min_value=0, max_value=100))
+@FAST
+def test_reliable_exactly_once_in_order(sizes, fwd, seed):
+    conn, log = run_transfer(RudpConnection, sizes=sizes, fwd_loss=fwd,
+                             seed=seed)
+    assert conn.completed
+    # Every byte of every frame delivered, frames in submission order.
+    assert log.total_bytes == sum(sizes)
+    per_frame = {}
+    for fid, size in zip(log.frame_ids, log.sizes):
+        per_frame[fid] = per_frame.get(fid, 0) + int(size)
+    assert per_frame == {i: s for i, s in enumerate(sizes)}
+    completions = list(log.frame_ids[[bool(x) for x in
+                                      (log.frame_ids >= 0)]])
+    # In-order: frame ids of deliveries never decrease.
+    assert all(a <= b for a, b in zip(completions, completions[1:]))
+
+
+@given(sizes=st.lists(st.integers(min_value=100, max_value=3000),
+                      min_size=5, max_size=40),
+       bwd=st.sampled_from([0.1, 0.3]),
+       seed=st.integers(min_value=0, max_value=50))
+@FAST
+def test_tcp_survives_ack_loss(sizes, bwd, seed):
+    conn, log = run_transfer(TcpConnection, sizes=sizes, bwd_loss=bwd,
+                             seed=seed)
+    assert conn.completed
+    assert log.total_bytes == sum(sizes)
+
+
+@given(tolerance=st.sampled_from([0.1, 0.3, 0.6]),
+       seed=st.integers(min_value=0, max_value=50))
+@FAST
+def test_loss_tolerant_invariants(tolerance, seed):
+    """Marked frames always arrive; total skips respect the tolerance."""
+    rng = random.Random(seed)
+    marked = [rng.random() < 0.3 for _ in range(120)]
+    sim = Simulator()
+    net = Dumbbell(sim, queue_pkts=16)
+    net.forward.loss = BernoulliLoss(0.1, random.Random(seed + 7))
+    snd, rcv = net.add_flow_hosts("p")
+    log = DeliveryLog()
+    conn = RudpConnection(sim, snd, rcv, loss_tolerance=tolerance,
+                          on_deliver=log.on_deliver)
+    for i, m in enumerate(marked):
+        conn.submit(1400, marked=m, frame_id=i)
+    conn.finish()
+    sim.run(until=600.0)
+    assert conn.completed
+    delivered = set(int(f) for f in log.frame_ids)
+    for i, m in enumerate(marked):
+        if m:
+            assert i in delivered, f"marked frame {i} withheld"
+    st_ = conn.sender.stats
+    if st_.skips_sent:
+        total = st_.skips_sent + st_.acked_packets
+        assert st_.skips_sent / total <= tolerance + 0.05
