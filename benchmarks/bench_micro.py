@@ -1,14 +1,38 @@
-"""Micro-benchmarks of the substrate itself (engine event rate, transport
-packet rate) -- the knobs that bound how large an experiment the harness
-can simulate per wall-clock second."""
+"""Micro-benchmarks of the substrate itself (engine event rate, timer-churn
+rate, transport packet rate, parallel batch throughput) -- the knobs that
+bound how large an experiment the harness can simulate per wall-clock
+second.
 
+Each bench also records a machine-readable rate into
+``benchmarks/results/bench_perf.json`` (via the ``perf_record`` fixture) so
+``check_regression.py`` can compare runs against the committed baseline and
+future PRs inherit a performance trajectory.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig
 from repro.middleware.receiver import DeliveryLog
+from repro.runner import run_batch
 from repro.sim.engine import Simulator
 from repro.sim.topology import Dumbbell
 from repro.transport.rudp import RudpConnection
 
 
-def bench_engine_event_rate(benchmark):
+def _best_rate(fn, work_units: int, repeats: int = 3) -> float:
+    """Best-of-N units/second for ``fn`` (min wall time wins: least noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return work_units / best
+
+
+def bench_engine_event_rate(benchmark, perf_record):
     """Schedule+fire cost of the event loop (100k events per round)."""
 
     def run():
@@ -24,10 +48,42 @@ def bench_engine_event_rate(benchmark):
         sim.run()
         return count[0]
 
+    perf_record("engine_event_rate", events_per_s=_best_rate(run, 100_000))
     assert benchmark(run) == 100_000
 
 
-def bench_rudp_transfer_rate(benchmark):
+def bench_engine_cancel_churn(benchmark, perf_record):
+    """Retransmission-timer pattern: schedule a timer, cancel it, repeat.
+
+    Cancellations dominate firings in every congestion-controlled run; the
+    lazy-deletion heap must absorb 100k of them without growing, which is
+    what keeps long runs O(live events) instead of O(history).
+    """
+
+    def run():
+        sim = Simulator()
+        fired = [0]
+
+        def noop():
+            fired[0] += 1
+
+        for i in range(100_000):
+            ev = sim.schedule(10.0, noop)
+            sim.schedule(0.0, noop)
+            ev.cancel()
+            sim.run(max_events=1)
+        peak = len(sim._heap)
+        sim.run()
+        assert fired[0] == 100_000
+        return peak
+
+    peak = run()
+    assert peak < 4096, f"dead timers accumulated: heap peaked at {peak}"
+    perf_record("engine_cancel_churn", timers_per_s=_best_rate(run, 100_000))
+    assert benchmark(run) < 4096
+
+
+def bench_rudp_transfer_rate(benchmark, perf_record):
     """Full-stack packet cost: a 5k-packet RUDP transfer on the dumbbell."""
 
     def run():
@@ -43,4 +99,47 @@ def bench_rudp_transfer_rate(benchmark):
         assert conn.completed
         return len(log)
 
+    perf_record("rudp_transfer", packets_per_s=_best_rate(run, 5000))
     assert benchmark(run) == 5000
+
+
+def bench_parallel_batch_throughput(benchmark, perf_record):
+    """Serial vs process-pool wall clock for a batch of independent runs.
+
+    Records both timings plus the speedup; on a single-core host the
+    parallel path only pays pool overhead, so no assertion on the ratio --
+    the JSON trajectory is the artifact.
+    """
+    cfgs = [ScenarioConfig(workload="greedy", n_frames=1500, seed=s,
+                           cbr_bps=10e6, time_cap=120.0)
+            for s in range(1, 5)]
+    jobs = min(4, os.cpu_count() or 1)
+
+    t0 = time.perf_counter()
+    serial = run_batch(cfgs, jobs=1, cache=False)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_batch(cfgs, jobs=jobs, cache=False)
+    parallel_s = time.perf_counter() - t0
+
+    for a, b in zip(serial, parallel):
+        assert a.summary == b.summary, "worker count changed results"
+
+    perf_record("parallel_batch", serial_s=round(serial_s, 3),
+                parallel_s=round(parallel_s, 3), jobs=jobs,
+                speedup=round(serial_s / max(parallel_s, 1e-9), 3),
+                cpu_count=os.cpu_count())
+    benchmark.pedantic(lambda: run_batch(cfgs, jobs=jobs, cache=False),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.perf_regression
+def bench_perf_regression_gate():
+    """Opt-in gate (``pytest -m perf_regression benchmarks/bench_micro.py``):
+    fails when bench_perf.json regresses >25% against the committed
+    baseline.  Run the other micro-benches first to produce fresh numbers.
+    """
+    import check_regression
+    rc = check_regression.main([])
+    assert rc == 0, "performance regression against committed baseline"

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Compare fresh micro-bench timings against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py            # default 25% threshold
+    python benchmarks/check_regression.py --threshold 0.10
+
+Reads ``benchmarks/results/bench_perf.json`` (produced by running
+``bench_micro.py``) and ``benchmarks/perf_baseline.json`` (committed).
+Exits nonzero when any *rate* metric (``*_per_s``) drops more than the
+threshold below baseline.  Wall-clock metrics (``*_s``) and metadata are
+reported but never gate: they depend on batch composition and host load
+far more than the per-event rates do.
+
+Also exposed as an opt-in pytest gate:
+``pytest -m perf_regression benchmarks/bench_micro.py``.
+
+Baselines are host-dependent; after an intentional engine change (or on a
+new CI host), refresh with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+CURRENT = HERE / "results" / "bench_perf.json"
+BASELINE = HERE / "perf_baseline.json"
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def compare(current: dict, baseline: dict, threshold: float
+            ) -> tuple[list[str], list[str]]:
+    """Returns (report lines, failure lines)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for bench, base_fields in sorted(baseline.items()):
+        cur_fields = current.get(bench)
+        if not isinstance(base_fields, dict):
+            continue
+        for metric, base_val in sorted(base_fields.items()):
+            if not metric.endswith("_per_s"):
+                continue
+            if not isinstance(base_val, (int, float)) or base_val <= 0:
+                continue
+            cur_val = (cur_fields or {}).get(metric)
+            if cur_val is None:
+                failures.append(f"{bench}.{metric}: missing from current run")
+                continue
+            ratio = cur_val / base_val
+            status = "ok"
+            if ratio < 1.0 - threshold:
+                status = f"REGRESSION (>{threshold:.0%} below baseline)"
+                failures.append(f"{bench}.{metric}: {cur_val:,.0f}/s vs "
+                                f"baseline {base_val:,.0f}/s ({ratio:.2f}x)")
+            lines.append(f"  {bench}.{metric}: {cur_val:,.0f}/s "
+                         f"(baseline {base_val:,.0f}/s, {ratio:.2f}x) "
+                         f"{status}")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="max tolerated fractional rate drop (default 0.25)")
+    ap.add_argument("--current", type=pathlib.Path, default=CURRENT)
+    ap.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="overwrite the baseline with the current numbers")
+    args = ap.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"no current timings at {args.current}; "
+              "run benchmarks/bench_micro.py first", file=sys.stderr)
+        return 2
+    current = json.loads(args.current.read_text())
+
+    if args.update_baseline:
+        args.baseline.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated from {args.current}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; seed one with "
+              "--update-baseline", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    lines, failures = compare(current, baseline, args.threshold)
+    print("bench_perf vs baseline:")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("no regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

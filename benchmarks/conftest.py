@@ -6,26 +6,56 @@ and asserts the robust parts of the expected *shape* (who wins; large
 factors).  Absolute numbers are not compared -- our substrate is a
 simulator, not the authors' 2002 Emulab testbed (see EXPERIMENTS.md).
 
-Expensive experiment runs are memoised per pytest session so that e.g. the
-Figure 4 bench reuses the Table 6 sweep instead of re-simulating it.
+Expensive experiment runs are memoised twice over: a per-session dict (so
+e.g. the Figure 4 bench reuses the Table 6 sweep within one pytest run)
+backed by the persistent on-disk cache in :mod:`repro.runner` (so a rerun
+with unchanged code and parameters is a cache hit across sessions).  Set
+``REPRO_NO_CACHE=1`` to force fresh runs, ``REPRO_CACHE_DIR`` to relocate
+the cache (default ``~/.cache/repro-iq-rudp``).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
+from repro.runner import memo
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+PERF_JSON = RESULTS_DIR / "bench_perf.json"
 
 _cache: dict[str, object] = {}
 
 
 def cached(key: str, fn):
-    """Memoise an experiment run for the benchmark session."""
+    """Memoise an experiment run for the session *and* across sessions.
+
+    The persistent layer keys on ``key`` plus a digest of the ``repro``
+    sources, so editing any simulator code invalidates stored results.
+    """
     if key not in _cache:
-        _cache[key] = fn()
+        _cache[key] = memo(key, fn)
     return _cache[key]
+
+
+def record_perf(name: str, **fields) -> None:
+    """Merge one bench's machine-readable timings into bench_perf.json.
+
+    Accumulates across benches in the same file so a full run leaves one
+    JSON artifact; ``check_regression.py`` compares it to the committed
+    baseline.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data: dict = {}
+    if PERF_JSON.exists():
+        try:
+            data = json.loads(PERF_JSON.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data.setdefault(name, {}).update(fields)
+    PERF_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture()
@@ -38,3 +68,9 @@ def report():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _write
+
+
+@pytest.fixture()
+def perf_record():
+    """Fixture handle on :func:`record_perf` for the micro-benches."""
+    return record_perf

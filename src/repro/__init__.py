@@ -17,6 +17,8 @@ Layering (bottom-up):
 * :mod:`repro.traffic` -- MBone trace synthesis and cross-traffic sources.
 * :mod:`repro.experiments` / :mod:`repro.analysis` -- the evaluation
   harness regenerating every table and figure.
+* :mod:`repro.runner` -- process-pool batch execution of independent
+  scenarios with a persistent, code-version-salted results cache.
 
 Quickstart::
 

@@ -6,6 +6,7 @@ Examples
 
     python -m repro table1                 # regenerate a paper table
     python -m repro table6 --seed 3        # different seed
+    python -m repro table6 --jobs 4        # fan rows across 4 processes
     python -m repro list                   # what's available
     python -m repro scenario --transport iq --workload greedy \
         --cbr 16e6 --frames 4000 --adaptation resolution
@@ -46,7 +47,7 @@ def _table(headers, paper, measured, title) -> str:
 
 
 def _run_table1(args) -> str:
-    res = baseline.run_table1(seed=args.seed)
+    res = baseline.run_table1(seed=args.seed, jobs=args.jobs)
     measured = [(k, *(round(x, 3) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -54,7 +55,7 @@ def _run_table1(args) -> str:
 
 
 def _run_table2(args) -> str:
-    res = baseline.run_table2(seed=args.seed)
+    res = baseline.run_table2(seed=args.seed, jobs=args.jobs)
     measured = [(k, *(round(x, 4) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -62,7 +63,7 @@ def _run_table2(args) -> str:
 
 
 def _run_table3(args) -> str:
-    res = conflict.run_table3(seed=args.seed)
+    res = conflict.run_table3(seed=args.seed, jobs=args.jobs)
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -70,7 +71,7 @@ def _run_table3(args) -> str:
 
 
 def _run_table4(args) -> str:
-    res = conflict.run_table4(seed=args.seed)
+    res = conflict.run_table4(seed=args.seed, jobs=args.jobs)
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -78,7 +79,7 @@ def _run_table4(args) -> str:
 
 
 def _run_table5(args) -> str:
-    res = overreaction.run_table5(seed=args.seed)
+    res = overreaction.run_table5(seed=args.seed, jobs=args.jobs)
     measured = [(k, *(round(x, 2)
                       for x in overreaction.overreaction_metrics(r)))
                 for k, r in res.items()]
@@ -87,7 +88,7 @@ def _run_table5(args) -> str:
 
 
 def _run_table6(args) -> str:
-    res = overreaction.run_table6(seed=args.seed)
+    res = overreaction.run_table6(seed=args.seed, jobs=args.jobs)
     rows = []
     paper_rows = []
     for rate, by_name in res.items():
@@ -102,7 +103,7 @@ def _run_table6(args) -> str:
 
 
 def _run_table7(args) -> str:
-    res = granularity.run_table7(seed=args.seed)
+    res = granularity.run_table7(seed=args.seed, jobs=args.jobs)
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -111,7 +112,7 @@ def _run_table7(args) -> str:
 
 
 def _run_table8(args) -> str:
-    res = granularity.run_table8(seed=args.seed)
+    res = granularity.run_table8(seed=args.seed, jobs=args.jobs)
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -152,6 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
         sp = sub.add_parser(name, help=f"regenerate the paper's {name}")
         sp.add_argument("--seed", type=int,
                         default=2 if name in ("table5", "table6") else 1)
+        sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the table's scenario "
+                             "batch (results are identical for any N)")
 
     sub.add_parser("list", help="list experiments")
 

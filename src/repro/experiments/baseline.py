@@ -19,7 +19,7 @@ point is that their throughputs are close, TCP slightly ahead.
 from __future__ import annotations
 
 from ..middleware.adaptation import ResolutionAdaptation
-from .common import ScenarioConfig, ScenarioResult, run_scenario
+from .common import ScenarioConfig, ScenarioResult
 
 __all__ = ["TABLE1_ROWS", "PAPER_TABLE1", "run_table1",
            "TABLE2_ROWS", "PAPER_TABLE2", "run_table2"]
@@ -57,9 +57,10 @@ def _table1_config(n_frames: int, seed: int) -> ScenarioConfig:
         trace_step_s=0.2, seed=seed, time_cap=900.0)
 
 
-def run_table1(*, n_frames: int = 250, seed: int = 1
-               ) -> dict[str, ScenarioResult]:
+def run_table1(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
+               cache=None) -> dict[str, ScenarioResult]:
     """Run all four Table 1 rows; returns row-name -> ScenarioResult."""
+    from ..runner import run_batch
     base = _table1_config(n_frames, seed)
     rows = {
         "TCP(1)": base.replace(transport="tcp"),
@@ -70,12 +71,13 @@ def run_table1(*, n_frames: int = 250, seed: int = 1
         "IQ-RUDP w/ app adaptation(4)": base.replace(
             transport="iq", adaptation=_adaptation),
     }
-    return {name: run_scenario(cfg) for name, cfg in rows.items()}
+    return run_batch(rows, jobs=jobs, cache=cache)
 
 
-def run_table2(*, n_frames: int = 8000, seed: int = 1
-               ) -> dict[str, ScenarioResult]:
+def run_table2(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
+               cache=None) -> dict[str, ScenarioResult]:
     """Fairness: the greedy application against a TCP bulk competitor."""
+    from ..runner import run_batch
     base = ScenarioConfig(
         workload="greedy", n_frames=n_frames, base_frame_size=1400,
         tcp_cross_bytes=500_000_000, seed=seed, time_cap=300.0)
@@ -83,7 +85,7 @@ def run_table2(*, n_frames: int = 8000, seed: int = 1
         "TCP": base.replace(transport="tcp"),
         "IQ-RUDP": base.replace(transport="iq"),
     }
-    return {name: run_scenario(cfg) for name, cfg in rows.items()}
+    return run_batch(rows, jobs=jobs, cache=cache)
 
 
 def table_metrics(res: ScenarioResult) -> tuple[float, float, float, float]:

@@ -138,6 +138,19 @@ class ScenarioResult:
     def __getitem__(self, key: str) -> float:
         return self.summary[key]
 
+    def detach(self) -> "ScenarioResult":
+        """Make the result serialisable (for worker transport / caching).
+
+        Drains the simulator's event heap: a completed scenario may still
+        hold queued cross-traffic events whose callbacks close over local
+        state that cannot be pickled (and carries no information a bench
+        or test reads).  Everything benches assert on -- ``summary``,
+        ``log``, ``conn`` counters/metrics, ``strategy``/``source`` state,
+        ``net`` queue stats -- survives.  Returns ``self``.
+        """
+        self.sim.drain()
+        return self
+
 
 def make_transport(name: str, sim: Simulator, snd_host, rcv_host, *,
                    mss: int, metric_period: float,

@@ -29,7 +29,7 @@ Calibration notes (documented deviations; see EXPERIMENTS.md):
 from __future__ import annotations
 
 from ..middleware.adaptation import MarkingAdaptation
-from .common import ScenarioConfig, ScenarioResult, run_scenario
+from .common import ScenarioConfig, ScenarioResult
 
 __all__ = ["PAPER_TABLE3", "PAPER_TABLE4", "run_table3", "run_table4",
            "run_figure23", "conflict_metrics"]
@@ -77,35 +77,38 @@ def _changing_net_config(n_frames: int, seed: int) -> ScenarioConfig:
         seed=seed, time_cap=600.0)
 
 
-def run_table3(*, n_frames: int = 250, seed: int = 1
-               ) -> dict[str, ScenarioResult]:
+def run_table3(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
+               cache=None) -> dict[str, ScenarioResult]:
     """Conflict, changing application: IQ-RUDP vs RUDP."""
+    from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
-    return {
-        "IQ-RUDP": run_scenario(base.replace(transport="iq")),
-        "RUDP": run_scenario(base.replace(transport="rudp")),
-    }
+    return run_batch({
+        "IQ-RUDP": base.replace(transport="iq"),
+        "RUDP": base.replace(transport="rudp"),
+    }, jobs=jobs, cache=cache)
 
 
-def run_table4(*, n_frames: int = 6000, seed: int = 1
-               ) -> dict[str, ScenarioResult]:
+def run_table4(*, n_frames: int = 6000, seed: int = 1, jobs: int = 1,
+               cache=None) -> dict[str, ScenarioResult]:
     """Conflict, changing network: IQ-RUDP vs RUDP."""
+    from ..runner import run_batch
     base = _changing_net_config(n_frames, seed)
-    return {
-        "IQ-RUDP": run_scenario(base.replace(transport="iq")),
-        "RUDP": run_scenario(base.replace(transport="rudp")),
-    }
+    return run_batch({
+        "IQ-RUDP": base.replace(transport="iq"),
+        "RUDP": base.replace(transport="rudp"),
+    }, jobs=jobs, cache=cache)
 
 
-def run_figure23(*, n_frames: int = 6000, seed: int = 1, cbr_start: float = 2.0
-                 ) -> dict[str, ScenarioResult]:
+def run_figure23(*, n_frames: int = 6000, seed: int = 1, cbr_start: float = 2.0,
+                 jobs: int = 1, cache=None) -> dict[str, ScenarioResult]:
     """Figures 2/3: per-packet jitter series, cross traffic starting at
     ``cbr_start`` so the early packets see an idle network."""
+    from ..runner import run_batch
     base = _changing_net_config(n_frames, seed).replace(cbr_start=cbr_start)
-    return {
-        "IQ-RUDP": run_scenario(base.replace(transport="iq")),
-        "RUDP": run_scenario(base.replace(transport="rudp")),
-    }
+    return run_batch({
+        "IQ-RUDP": base.replace(transport="iq"),
+        "RUDP": base.replace(transport="rudp"),
+    }, jobs=jobs, cache=cache)
 
 
 def conflict_metrics(res: ScenarioResult) -> tuple[float, ...]:

@@ -22,7 +22,7 @@ RUDP < IQ w/o ADAPT_COND < IQ w/ ADAPT_COND, with ADAPT_COND recovering an
 from __future__ import annotations
 
 from ..middleware.adaptation import DelayedResolutionAdaptation
-from .common import ScenarioConfig, ScenarioResult, run_scenario
+from .common import ScenarioConfig, ScenarioResult
 
 __all__ = ["PAPER_TABLE7", "PAPER_TABLE8", "run_table7", "run_table8",
            "granularity_metrics"]
@@ -71,31 +71,31 @@ def _changing_net_config(n_frames: int, seed: int) -> ScenarioConfig:
         metric_period=0.25, seed=seed, time_cap=900.0)
 
 
-def run_table7(*, n_frames: int = 8000, seed: int = 1
-               ) -> dict[str, ScenarioResult]:
+def run_table7(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
+               cache=None) -> dict[str, ScenarioResult]:
     """Granularity, changing application: IQ (w/o ADAPT_COND) vs RUDP.
 
     The paper only runs scheme (2) here because with a changing application
     "eratio usually does not change a lot" during the delay.
     """
+    from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
-    return {
-        "IQ-RUDP w/o ADAPT_COND": run_scenario(
-            base.replace(transport="iq_nocond")),
-        "RUDP": run_scenario(base.replace(transport="rudp")),
-    }
+    return run_batch({
+        "IQ-RUDP w/o ADAPT_COND": base.replace(transport="iq_nocond"),
+        "RUDP": base.replace(transport="rudp"),
+    }, jobs=jobs, cache=cache)
 
 
-def run_table8(*, n_frames: int = 6000, seed: int = 1
-               ) -> dict[str, ScenarioResult]:
+def run_table8(*, n_frames: int = 6000, seed: int = 1, jobs: int = 1,
+               cache=None) -> dict[str, ScenarioResult]:
     """Granularity, changing network: all three schemes on the long path."""
+    from ..runner import run_batch
     base = _changing_net_config(n_frames, seed)
-    return {
-        "IQ-RUDP w/ ADAPT_COND": run_scenario(base.replace(transport="iq")),
-        "IQ-RUDP w/o ADAPT_COND": run_scenario(
-            base.replace(transport="iq_nocond")),
-        "RUDP": run_scenario(base.replace(transport="rudp")),
-    }
+    return run_batch({
+        "IQ-RUDP w/ ADAPT_COND": base.replace(transport="iq"),
+        "IQ-RUDP w/o ADAPT_COND": base.replace(transport="iq_nocond"),
+        "RUDP": base.replace(transport="rudp"),
+    }, jobs=jobs, cache=cache)
 
 
 def granularity_metrics(res: ScenarioResult) -> tuple[float, ...]:

@@ -17,7 +17,7 @@ grows with congestion (throughput +6%..+25%, jitter -20%..-76%).
 from __future__ import annotations
 
 from ..middleware.adaptation import ResolutionAdaptation
-from .common import ScenarioConfig, ScenarioResult, run_scenario
+from .common import ScenarioConfig, ScenarioResult
 
 __all__ = ["PAPER_TABLE5", "PAPER_TABLE6", "run_table5", "run_table6",
            "overreaction_metrics", "figure4_improvements"]
@@ -75,26 +75,34 @@ def _changing_net_config(cbr_bps: float, n_frames: int, seed: int
         vbr_mean_bps=1.0e6, metric_period=0.5, seed=seed, time_cap=900.0)
 
 
-def run_table5(*, n_frames: int = 8000, seed: int = 2
-               ) -> dict[str, ScenarioResult]:
+def run_table5(*, n_frames: int = 8000, seed: int = 2, jobs: int = 1,
+               cache=None) -> dict[str, ScenarioResult]:
+    from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
-    return {
-        "IQ-RUDP": run_scenario(base.replace(transport="iq")),
-        "RUDP": run_scenario(base.replace(transport="rudp")),
-    }
+    return run_batch({
+        "IQ-RUDP": base.replace(transport="iq"),
+        "RUDP": base.replace(transport="rudp"),
+    }, jobs=jobs, cache=cache)
 
 
 def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
-               n_frames: int = 12000, seed: int = 2
-               ) -> dict[int, dict[str, ScenarioResult]]:
-    """The congestion sweep; same VBR cross traffic across rates."""
-    out: dict[int, dict[str, ScenarioResult]] = {}
+               n_frames: int = 12000, seed: int = 2, jobs: int = 1,
+               cache=None) -> dict[int, dict[str, ScenarioResult]]:
+    """The congestion sweep; same VBR cross traffic across rates.
+
+    All six (rate, scheme) runs are independent, so the whole sweep fans
+    out as one flat batch before reshaping into the nested table form.
+    """
+    from ..runner import run_batch
+    configs: dict[tuple[int, str], ScenarioConfig] = {}
     for rate in rates_mbps:
         base = _changing_net_config(rate * 1e6, n_frames, seed)
-        out[rate] = {
-            "IQ-RUDP": run_scenario(base.replace(transport="iq")),
-            "RUDP": run_scenario(base.replace(transport="rudp")),
-        }
+        configs[(rate, "IQ-RUDP")] = base.replace(transport="iq")
+        configs[(rate, "RUDP")] = base.replace(transport="rudp")
+    flat = run_batch(configs, jobs=jobs, cache=cache)
+    out: dict[int, dict[str, ScenarioResult]] = {}
+    for (rate, name), res in flat.items():
+        out.setdefault(rate, {})[name] = res
     return out
 
 

@@ -1,0 +1,37 @@
+"""Batch execution of independent scenarios: process-pool fan-out plus a
+persistent on-disk results cache.
+
+Every artifact in the paper's evaluation is a batch of *independent*
+``run_scenario`` calls (a table's rows, a sweep's points), so the first-order
+performance lever for reproducing the paper is fanning those runs out across
+cores and never re-running a configuration whose parameters have not
+changed.  This package supplies both:
+
+* :func:`run_batch` / :func:`run_one` -- execute scenario configs across a
+  ``ProcessPoolExecutor`` (``jobs`` workers) with deterministic per-scenario
+  seeding: results are bit-identical whatever the worker count, because
+  every scenario derives its randomness from its own ``cfg.seed``.
+* :class:`ResultsCache` / :func:`memo` -- pickle results under a key that
+  hashes the full :class:`~repro.experiments.common.ScenarioConfig` plus a
+  salt over the package's source code, so editing any ``repro`` module
+  invalidates every cached result while a parameter-identical rerun is a
+  pure cache hit.
+
+Environment knobs:
+
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/repro-iq-rudp``).
+``REPRO_NO_CACHE=1``
+    Disable the persistent cache entirely (compute everything fresh,
+    write nothing).
+"""
+
+from .cache import ResultsCache, cache_enabled, default_cache, memo
+from .hashing import code_salt, config_fingerprint, config_key
+from .pool import run_batch, run_one
+
+__all__ = [
+    "ResultsCache", "cache_enabled", "default_cache", "memo",
+    "code_salt", "config_fingerprint", "config_key",
+    "run_batch", "run_one",
+]

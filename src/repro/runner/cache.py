@@ -1,0 +1,132 @@
+"""Persistent on-disk results cache.
+
+Entries are pickles written atomically (tmp file + rename) under a content
+key from :mod:`.hashing`, so concurrent workers and interrupted runs can
+never leave a torn entry.  Any unreadable entry is treated as a miss and
+overwritten -- the cache is always safe to delete wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any, Callable
+
+from .hashing import code_salt
+
+__all__ = ["ResultsCache", "cache_enabled", "default_cache", "memo",
+           "detach_tree"]
+
+#: Environment variable naming the cache directory.
+ENV_DIR = "REPRO_CACHE_DIR"
+#: Set to ``1`` (any non-empty value) to disable the persistent cache.
+ENV_OFF = "REPRO_NO_CACHE"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to a non-empty value."""
+    return not os.environ.get(ENV_OFF)
+
+
+def _default_root() -> pathlib.Path:
+    env = os.environ.get(ENV_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-iq-rudp"
+
+
+class ResultsCache:
+    """Keyed pickle store with hit/miss accounting.
+
+    ``root`` defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-iq-rudp``.
+    The directory is created lazily on first write.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root is not None else _default_root()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """Stored value for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic replace)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def default_cache() -> ResultsCache:
+    """A cache on the default (environment-configured) directory."""
+    return ResultsCache()
+
+
+def detach_tree(obj: Any) -> Any:
+    """Recursively ``detach()`` every scenario result in a container.
+
+    Experiment helpers return results nested in dicts/lists/tuples
+    (e.g. Table 6's ``{rate: {row: result}}``); this walks those shapes so
+    an arbitrary experiment payload can be pickled.  Returns ``obj``.
+    """
+    detach = getattr(obj, "detach", None)
+    if callable(detach):
+        detach()
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            detach_tree(v)
+    elif isinstance(obj, (list, tuple)):
+        for v in obj:
+            detach_tree(v)
+    return obj
+
+
+def memo(key: str, fn: Callable[[], Any], *,
+         cache: ResultsCache | None = None) -> Any:
+    """Persistent memoisation of a named experiment run.
+
+    The effective key mixes the caller's name with the code salt, so cached
+    artifacts survive across sessions but never across code edits.  With
+    the cache disabled (``REPRO_NO_CACHE``) this is just ``fn()``.
+    """
+    if not cache_enabled():
+        return fn()
+    if cache is None:
+        cache = default_cache()
+    digest = hashlib.sha256(
+        (code_salt() + "\0" + key).encode()).hexdigest()[:40]
+    value = cache.get(digest)
+    if value is None:
+        value = detach_tree(fn())
+        try:
+            cache.put(digest, value)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Unpicklable payloads simply skip persistence.
+            pass
+    return value

@@ -1,0 +1,87 @@
+"""Stable cache keys for scenario configurations.
+
+A key must be (a) identical across processes and sessions for the same
+parameters -- so it cannot use ``hash()`` or object identity -- and (b)
+different whenever a rerun could produce a different result.  Two inputs
+matter: the full :class:`ScenarioConfig` field set, and the simulator code
+itself.  The latter is folded in as a *code salt*: a digest over every
+``repro`` source file, recomputed once per process, so any code edit
+invalidates the whole cache rather than serving results from a stale
+implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from typing import Any
+
+__all__ = ["code_salt", "callable_token", "config_fingerprint", "config_key"]
+
+_SALT_CACHE: str | None = None
+
+
+def code_salt() -> str:
+    """Digest of all ``repro`` package sources (memoised per process)."""
+    global _SALT_CACHE
+    if _SALT_CACHE is None:
+        pkg_root = pathlib.Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            h.update(str(path.relative_to(pkg_root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _SALT_CACHE = h.hexdigest()
+    return _SALT_CACHE
+
+
+def callable_token(fn: Any) -> str | None:
+    """Stable identity for a config's callable field (adaptation factory).
+
+    Module-level functions and classes are identified by dotted name.
+    Lambdas and local closures have no stable cross-process identity, so
+    they yield ``None`` -- the config is then *uncacheable* (it still runs,
+    just never through the persistent cache).
+    """
+    if fn is None:
+        return "none"
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if not qualname or not module:
+        return None
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        return None
+    return f"{module}.{qualname}"
+
+
+def config_fingerprint(cfg: Any) -> str | None:
+    """Canonical text form of a ``ScenarioConfig``, or None if uncacheable.
+
+    Iterates the instance ``__dict__`` so new config fields are picked up
+    automatically (a new field changes the fingerprint, which is the safe
+    direction: old cache entries stop matching).
+    """
+    parts = []
+    for name in sorted(vars(cfg)):
+        value = vars(cfg)[name]
+        if callable(value):
+            token = callable_token(value)
+            if token is None:
+                return None
+            parts.append(f"{name}={token}")
+        else:
+            parts.append(f"{name}={value!r}")
+    return ";".join(parts)
+
+
+def config_key(cfg: Any) -> str | None:
+    """Cache key for a config (fingerprint + code salt), or None."""
+    fp = config_fingerprint(cfg)
+    if fp is None:
+        return None
+    h = hashlib.sha256()
+    h.update(code_salt().encode())
+    h.update(b"\0")
+    h.update(fp.encode())
+    return h.hexdigest()[:40]

@@ -1,0 +1,99 @@
+"""Process-pool execution of independent scenario batches.
+
+Scenarios are embarrassingly parallel: each ``run_scenario`` builds its own
+simulator, topology and RNG streams from the config alone, and every random
+stream derives from ``cfg.seed`` (see :mod:`repro.sim.rand`).  Worker count
+therefore cannot change results -- ``jobs=1`` and ``jobs=N`` are
+bit-identical -- and the pool is free to schedule runs in any order.
+
+Results returned by :func:`run_batch` are *detached* (their simulator heap
+is drained, see ``ScenarioResult.detach``): they carry every metric, log
+and counter the benches read, but can no longer be resumed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Mapping, Sequence
+
+from ..experiments.common import ScenarioConfig, ScenarioResult, run_scenario
+from .cache import ResultsCache, cache_enabled, default_cache
+from .hashing import config_key
+
+__all__ = ["run_batch", "run_one"]
+
+
+def _run_detached(cfg: ScenarioConfig) -> ScenarioResult:
+    """Worker entry point: execute one scenario and strip the event heap
+    so the result pickles back to the parent."""
+    return run_scenario(cfg).detach()
+
+
+def _resolve_cache(cache: ResultsCache | bool | None) -> ResultsCache | None:
+    """Map the ``cache`` argument to an active cache or None.
+
+    ``None``/``True`` -> the default environment-configured cache;
+    ``False`` -> no caching; a :class:`ResultsCache` -> that cache.
+    ``REPRO_NO_CACHE`` wins over everything.
+    """
+    if not cache_enabled() or cache is False:
+        return None
+    if isinstance(cache, ResultsCache):
+        return cache
+    return default_cache()
+
+
+def run_one(cfg: ScenarioConfig, *,
+            cache: ResultsCache | bool | None = None) -> ScenarioResult:
+    """Cached single-scenario run (always detached)."""
+    return run_batch([cfg], cache=cache)[0]
+
+
+def run_batch(configs: Mapping[Any, ScenarioConfig] |
+              Sequence[ScenarioConfig], *,
+              jobs: int | None = 1,
+              cache: ResultsCache | bool | None = None):
+    """Execute a batch of independent scenarios, in parallel when asked.
+
+    ``configs`` is either a mapping (returns ``{key: ScenarioResult}``,
+    insertion order preserved) or a sequence (returns a list).  ``jobs``
+    is the worker-process count; ``None`` or ``1`` runs in-process, and
+    only cache *misses* are fanned out.  Configs whose fields cannot be
+    stably hashed (lambda adaptation factories) always run fresh.
+    """
+    keyed = isinstance(configs, Mapping)
+    names = list(configs.keys()) if keyed else None
+    cfgs = list(configs.values()) if keyed else list(configs)
+    store = _resolve_cache(cache)
+
+    results: list[ScenarioResult | None] = [None] * len(cfgs)
+    misses: list[int] = []
+    keys: list[str | None] = []
+    for i, cfg in enumerate(cfgs):
+        key = config_key(cfg) if store is not None else None
+        keys.append(key)
+        hit = store.get(key) if key is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            misses.append(i)
+
+    if misses:
+        todo = [cfgs[i] for i in misses]
+        if jobs is not None and jobs > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as ex:
+                fresh = list(ex.map(_run_detached, todo))
+        else:
+            fresh = [_run_detached(cfg) for cfg in todo]
+        for i, res in zip(misses, fresh):
+            results[i] = res
+            if store is not None and keys[i] is not None:
+                try:
+                    store.put(keys[i], res)
+                except (pickle.PicklingError, TypeError, AttributeError):
+                    pass  # unpicklable payloads just skip persistence
+
+    if keyed:
+        return dict(zip(names, results))
+    return results

@@ -44,7 +44,12 @@ class DropTailQueue:
     buffer model.  A packet that does not fit is dropped in its entirety.
     ``on_drop`` (if given) observes each dropped packet, which the failure
     injection tests and monitors use.
+
+    ``__slots__`` keeps instances compact and attribute access cheap --
+    every packet the simulation forwards crosses :meth:`push`/:meth:`pop`.
     """
+
+    __slots__ = ("capacity_bytes", "on_drop", "_q", "_bytes", "stats")
 
     def __init__(self, capacity_bytes: int,
                  on_drop: Callable[[Packet], None] | None = None):
@@ -71,20 +76,23 @@ class DropTailQueue:
     def push(self, pkt: Packet) -> bool:
         """Enqueue ``pkt``; returns False (and drops) when full."""
         st = self.stats
+        wire = pkt.wire_size
         st.arrivals += 1
-        if self._bytes + pkt.wire_size > self.capacity_bytes:
+        new_bytes = self._bytes + wire
+        if new_bytes > self.capacity_bytes:
             st.drops += 1
-            st.bytes_dropped += pkt.wire_size
+            st.bytes_dropped += wire
             if self.on_drop is not None:
                 self.on_drop(pkt)
             return False
-        self._q.append(pkt)
-        self._bytes += pkt.wire_size
-        st.bytes_in += pkt.wire_size
-        if self._bytes > st.peak_bytes:
-            st.peak_bytes = self._bytes
-        if len(self._q) > st.peak_packets:
-            st.peak_packets = len(self._q)
+        q = self._q
+        q.append(pkt)
+        self._bytes = new_bytes
+        st.bytes_in += wire
+        if new_bytes > st.peak_bytes:
+            st.peak_bytes = new_bytes
+        if len(q) > st.peak_packets:
+            st.peak_packets = len(q)
         return True
 
     def pop(self) -> Packet:
@@ -107,6 +115,8 @@ class REDQueue(DropTailQueue):
     so ablation benches can ask whether the coordination wins depend on the
     drop-tail loss pattern.
     """
+
+    __slots__ = ("min_bytes", "max_bytes", "max_p", "weight", "_avg", "_rng")
 
     def __init__(self, capacity_bytes: int, *, min_th: float = 0.25,
                  max_th: float = 0.75, max_p: float = 0.1, weight: float = 0.002,

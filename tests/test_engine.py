@@ -219,3 +219,89 @@ def test_priority_respected_within_instant(items):
         if a[0] == b[0]:
             assert a[1] <= b[1] or items.index(a) < items.index(b) \
                 if a[1] == b[1] else a[1] <= b[1]
+
+
+# ----------------------------------------------------------------------
+# Lazy-deletion compaction and O(1) pending accounting
+# ----------------------------------------------------------------------
+def test_cancel_churn_keeps_heap_bounded():
+    """100k schedule+cancel cycles (the retransmission-timer pattern) must
+    not accumulate dead entries: the heap stays near the live count."""
+    sim = Simulator()
+    peak = 0
+    for _ in range(100_000):
+        ev = sim.schedule(10.0, lambda: None)
+        ev.cancel()
+        peak = max(peak, len(sim._heap))
+    assert peak < 1024
+    assert sim.pending() == 0
+
+
+def test_survivors_fire_in_order_after_mass_cancel():
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(float(i + 1), fired.append, i)
+              for i in range(2000)]
+    # Cancel everything except every 7th event, forcing compactions.
+    survivors = []
+    for i, ev in enumerate(events):
+        if i % 7 == 0:
+            survivors.append(i)
+        else:
+            ev.cancel()
+    assert len(sim._heap) < 2000  # compaction actually ran
+    sim.run()
+    assert fired == survivors
+
+
+def test_pending_counter_tracks_schedule_cancel_fire():
+    sim = Simulator()
+    evs = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending() == 10
+    evs[0].cancel()
+    evs[3].cancel()
+    assert sim.pending() == 8
+    evs[0].cancel()  # idempotent: must not double-decrement
+    assert sim.pending() == 8
+    sim.run(until=2.5)  # fires events at t=2 (t=1 was cancelled)
+    assert sim.pending() == 7
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancel_during_run_updates_pending():
+    sim = Simulator()
+    later = sim.schedule(5.0, lambda: None)
+    sim.schedule(1.0, later.cancel)
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_compaction_preserves_peek_and_priorities():
+    sim = Simulator()
+    doomed = [sim.schedule(1.0, lambda: None) for _ in range(500)]
+    keep_late = sim.schedule(2.0, lambda: None, priority=1)
+    keep_early = sim.schedule(2.0, lambda: None, priority=-1)
+    for ev in doomed:
+        ev.cancel()
+    assert sim.peek() == 2.0
+    assert sim.pending() == 2
+    fired = []
+    sim.schedule(2.0, lambda: None)  # priority 0, scheduled last
+    order = []
+    keep_late.fn, keep_late.args = order.append, ("late",)
+    keep_early.fn, keep_early.args = order.append, ("early",)
+    sim.run()
+    assert order == ["early", "late"]
+    assert fired == []
+
+
+def test_drain_empties_heap_and_counters():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    ev = sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    sim.drain()
+    assert sim.pending() == 0
+    assert sim.peek() is None
+    assert sim.run() == 0

@@ -1,0 +1,186 @@
+"""Tests for the batch runner and persistent results cache.
+
+The contract under test: worker count never changes results (bit-identical
+metrics for a fixed seed), cache hits are indistinguishable from fresh
+runs, and cache keys react to exactly the inputs that could change a
+result (config fields, code version) and nothing else.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig
+from repro.middleware.adaptation import MarkingAdaptation
+from repro.runner import (ResultsCache, code_salt, config_fingerprint,
+                          config_key, memo, run_batch, run_one)
+from repro.runner import cache as cache_mod
+
+
+def _small(**kw) -> ScenarioConfig:
+    base = dict(workload="greedy", n_frames=150, time_cap=60.0)
+    base.update(kw)
+    return ScenarioConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+def test_config_key_stable_across_instances():
+    assert config_key(_small(seed=3)) == config_key(_small(seed=3))
+
+
+def test_config_key_sensitive_to_every_field_change():
+    base = _small()
+    for kw in (dict(seed=2), dict(n_frames=151), dict(transport="rudp"),
+               dict(cbr_bps=1e6), dict(rtt_s=0.05),
+               dict(adaptation=MarkingAdaptation)):
+        assert config_key(base.replace(**kw)) != config_key(base), kw
+
+
+def test_lambda_adaptation_is_uncacheable_but_runs():
+    cfg = _small(transport="iq",
+                 adaptation=lambda: MarkingAdaptation(upper=0.5, lower=0.1))
+    assert config_fingerprint(cfg) is None
+    assert config_key(cfg) is None
+    res = run_one(cfg)  # must still execute, just bypassing the cache
+    assert res.completed
+
+
+def test_code_salt_is_memoised_and_nonempty():
+    assert code_salt() and code_salt() == code_salt()
+
+
+# ----------------------------------------------------------------------
+# Parallel determinism
+# ----------------------------------------------------------------------
+def test_parallel_results_bit_identical_to_serial():
+    cfgs = {s: _small(seed=s, cbr_bps=8e6) for s in (1, 2, 3, 4)}
+    serial = run_batch(cfgs, jobs=1, cache=False)
+    parallel = run_batch(cfgs, jobs=4, cache=False)
+    assert list(serial) == list(parallel)
+    for k in cfgs:
+        assert serial[k].summary == parallel[k].summary
+
+
+def test_run_batch_preserves_mapping_order_and_sequence_shape():
+    cfgs = {"b": _small(seed=2), "a": _small(seed=1)}
+    out = run_batch(cfgs, cache=False)
+    assert list(out) == ["b", "a"]
+    seq = run_batch([_small(seed=1)], cache=False)
+    assert isinstance(seq, list) and len(seq) == 1
+
+
+# ----------------------------------------------------------------------
+# Persistent cache
+# ----------------------------------------------------------------------
+def test_cache_hit_equals_fresh_run(tmp_path):
+    store = ResultsCache(tmp_path)
+    cfg = _small(seed=7)
+    fresh = run_batch([cfg], cache=store)[0]
+    assert store.misses >= 1
+    hits_before = store.hits
+    again = run_batch([cfg], cache=store)[0]
+    assert store.hits == hits_before + 1
+    assert again.summary == fresh.summary
+    assert len(again.log) == len(fresh.log)
+    assert (again.conn.sender.stats.submitted_segments
+            == fresh.conn.sender.stats.submitted_segments)
+
+
+def test_cached_results_survive_pickle_roundtrip(tmp_path):
+    res = run_batch([_small(seed=9)], cache=ResultsCache(tmp_path))[0]
+    clone = pickle.loads(pickle.dumps(res))
+    assert clone.summary == res.summary
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    store = ResultsCache(tmp_path)
+    cfg = _small(seed=5)
+    key = config_key(cfg)
+    store.put(key, run_one(cfg, cache=False))  # seed a valid entry
+    store.path_for(key).write_bytes(b"not a pickle")
+    assert store.get(key) is None
+    res = run_batch([cfg], cache=store)[0]  # recomputes and heals the entry
+    assert res.completed
+    assert store.get(key) is not None
+
+
+def test_env_dir_and_no_cache_opt_out(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_DIR, str(tmp_path / "envcache"))
+    cfg = _small(seed=11)
+    run_batch([cfg])
+    files = list((tmp_path / "envcache").glob("*.pkl"))
+    assert len(files) == 1
+
+    monkeypatch.setenv(cache_mod.ENV_OFF, "1")
+    other = _small(seed=12)
+    run_batch([other])
+    assert len(list((tmp_path / "envcache").glob("*.pkl"))) == 1  # unchanged
+
+
+# ----------------------------------------------------------------------
+# memo() -- the bench-conftest entry point
+# ----------------------------------------------------------------------
+def test_memo_runs_once_across_sessions(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_DIR, str(tmp_path))
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return {"rows": (1, 2, 3)}
+
+    assert memo("tkey", fn) == {"rows": (1, 2, 3)}
+    # Fresh call with no in-memory state: must come from disk.
+    assert memo("tkey", fn) == {"rows": (1, 2, 3)}
+    assert len(calls) == 1
+
+
+def test_memo_detaches_nested_results(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_DIR, str(tmp_path))
+
+    def fn():
+        from repro.experiments.common import run_scenario
+        return {"row": run_scenario(_small(seed=13))}
+
+    out = memo("nested", fn)
+    assert out["row"].sim.pending() == 0  # detached
+    again = memo("nested", lambda: pytest.fail("should be cached"))
+    assert again["row"].summary == out["row"].summary
+
+
+def test_memo_respects_no_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_DIR, str(tmp_path))
+    monkeypatch.setenv(cache_mod.ENV_OFF, "1")
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return 42
+
+    assert memo("off", fn) == 42
+    assert memo("off", fn) == 42
+    assert len(calls) == 2
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+# ----------------------------------------------------------------------
+# Experiment helpers fan out through the runner
+# ----------------------------------------------------------------------
+def test_table_helper_parallel_matches_serial(tmp_path):
+    from repro.experiments.baseline import run_table2
+    a = run_table2(n_frames=150, jobs=1, cache=False)
+    b = run_table2(n_frames=150, jobs=2, cache=False)
+    assert list(a) == list(b) == ["TCP", "IQ-RUDP"]
+    for k in a:
+        assert a[k].summary == b[k].summary
+
+
+def test_table6_reshapes_flat_batch(tmp_path):
+    from repro.experiments.overreaction import run_table6
+    out = run_table6(rates_mbps=(12,), n_frames=150, jobs=2,
+                     cache=ResultsCache(tmp_path))
+    assert set(out) == {12}
+    assert set(out[12]) == {"IQ-RUDP", "RUDP"}
