@@ -9,9 +9,13 @@ Usage::
 Reads ``benchmarks/results/bench_perf.json`` (produced by running
 ``bench_micro.py``) and ``benchmarks/perf_baseline.json`` (committed).
 Exits nonzero when any *rate* metric (``*_per_s``) drops more than the
-threshold below baseline.  Wall-clock metrics (``*_s``) and metadata are
-reported but never gate: they depend on batch composition and host load
-far more than the per-event rates do.
+threshold below baseline, or when a metric gated by a ``*_max`` ceiling
+key exceeds it (e.g. baseline ``disabled_overhead_pct_max: 3.0`` fails
+the run if current ``disabled_overhead_pct`` > 3.0 -- ceilings are
+absolute budgets, not ratios, so ``--threshold`` does not apply).
+Wall-clock metrics (``*_s``) and metadata are reported but never gate:
+they depend on batch composition and host load far more than the
+per-event rates do.
 
 Also exposed as an opt-in pytest gate:
 ``pytest -m perf_regression benchmarks/bench_micro.py``.
@@ -44,9 +48,24 @@ def compare(current: dict, baseline: dict, threshold: float
         if not isinstance(base_fields, dict):
             continue
         for metric, base_val in sorted(base_fields.items()):
-            if not metric.endswith("_per_s"):
+            if not isinstance(base_val, (int, float)):
                 continue
-            if not isinstance(base_val, (int, float)) or base_val <= 0:
+            if metric.endswith("_max"):
+                gated = metric[:-len("_max")]
+                cur_val = (cur_fields or {}).get(gated)
+                if cur_val is None:
+                    failures.append(f"{bench}.{gated}: missing from current "
+                                    f"run (ceiling {base_val:g})")
+                    continue
+                status = "ok"
+                if cur_val > base_val:
+                    status = "OVER CEILING"
+                    failures.append(f"{bench}.{gated}: {cur_val:g} exceeds "
+                                    f"ceiling {base_val:g}")
+                lines.append(f"  {bench}.{gated}: {cur_val:g} "
+                             f"(ceiling {base_val:g}) {status}")
+                continue
+            if not metric.endswith("_per_s") or base_val <= 0:
                 continue
             cur_val = (cur_fields or {}).get(metric)
             if cur_val is None:
@@ -81,6 +100,16 @@ def main(argv: list[str] | None = None) -> int:
     current = json.loads(args.current.read_text())
 
     if args.update_baseline:
+        # Ceiling keys are policy, not measurements: carry them over so a
+        # baseline refresh never silently drops a committed budget.
+        if args.baseline.exists():
+            old = json.loads(args.baseline.read_text())
+            for bench, fields in old.items():
+                if not isinstance(fields, dict):
+                    continue
+                for metric, val in fields.items():
+                    if metric.endswith("_max"):
+                        current.setdefault(bench, {}).setdefault(metric, val)
         args.baseline.write_text(
             json.dumps(current, indent=2, sort_keys=True) + "\n")
         print(f"baseline updated from {args.current}")

@@ -17,6 +17,7 @@ the cache (default ``~/.cache/repro-iq-rudp``).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
@@ -47,7 +48,7 @@ def record_perf(name: str, **fields) -> None:
     JSON artifact; ``check_regression.py`` compares it to the committed
     baseline.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     data: dict = {}
     if PERF_JSON.exists():
         try:
@@ -55,13 +56,17 @@ def record_perf(name: str, **fields) -> None:
         except (ValueError, OSError):
             data = {}
     data.setdefault(name, {}).update(fields)
-    PERF_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    # Atomic replace: concurrent/interrupted benches never leave a torn
+    # (half-written) JSON for check_regression.py to choke on.
+    tmp = PERF_JSON.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, PERF_JSON)
 
 
 @pytest.fixture()
 def report():
     """Returns a writer: report(name, text) prints and persists a block."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     def _write(name: str, text: str) -> None:
         print("\n" + text)

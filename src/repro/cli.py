@@ -47,7 +47,7 @@ def _table(headers, paper, measured, title) -> str:
 
 
 def _run_table1(args) -> str:
-    res = baseline.run_table1(seed=args.seed, jobs=args.jobs)
+    res = baseline.run_table1(seed=args.seed, jobs=args.jobs, trace=args.trace)
     measured = [(k, *(round(x, 3) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -55,7 +55,7 @@ def _run_table1(args) -> str:
 
 
 def _run_table2(args) -> str:
-    res = baseline.run_table2(seed=args.seed, jobs=args.jobs)
+    res = baseline.run_table2(seed=args.seed, jobs=args.jobs, trace=args.trace)
     measured = [(k, *(round(x, 4) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -63,7 +63,7 @@ def _run_table2(args) -> str:
 
 
 def _run_table3(args) -> str:
-    res = conflict.run_table3(seed=args.seed, jobs=args.jobs)
+    res = conflict.run_table3(seed=args.seed, jobs=args.jobs, trace=args.trace)
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -71,7 +71,7 @@ def _run_table3(args) -> str:
 
 
 def _run_table4(args) -> str:
-    res = conflict.run_table4(seed=args.seed, jobs=args.jobs)
+    res = conflict.run_table4(seed=args.seed, jobs=args.jobs, trace=args.trace)
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -79,7 +79,7 @@ def _run_table4(args) -> str:
 
 
 def _run_table5(args) -> str:
-    res = overreaction.run_table5(seed=args.seed, jobs=args.jobs)
+    res = overreaction.run_table5(seed=args.seed, jobs=args.jobs, trace=args.trace)
     measured = [(k, *(round(x, 2)
                       for x in overreaction.overreaction_metrics(r)))
                 for k, r in res.items()]
@@ -88,7 +88,7 @@ def _run_table5(args) -> str:
 
 
 def _run_table6(args) -> str:
-    res = overreaction.run_table6(seed=args.seed, jobs=args.jobs)
+    res = overreaction.run_table6(seed=args.seed, jobs=args.jobs, trace=args.trace)
     rows = []
     paper_rows = []
     for rate, by_name in res.items():
@@ -103,7 +103,7 @@ def _run_table6(args) -> str:
 
 
 def _run_table7(args) -> str:
-    res = granularity.run_table7(seed=args.seed, jobs=args.jobs)
+    res = granularity.run_table7(seed=args.seed, jobs=args.jobs, trace=args.trace)
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -112,7 +112,7 @@ def _run_table7(args) -> str:
 
 
 def _run_table8(args) -> str:
-    res = granularity.run_table8(seed=args.seed, jobs=args.jobs)
+    res = granularity.run_table8(seed=args.seed, jobs=args.jobs, trace=args.trace)
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -137,10 +137,25 @@ def _run_scenario_cmd(args) -> str:
         cbr_bps=args.cbr, vbr_mean_bps=args.vbr,
         loss_tolerance=args.tolerance, rtt_s=args.rtt, seed=args.seed,
         time_cap=args.time_cap)
-    res = run_scenario(cfg)
+    if args.trace:
+        # Traced one-off runs always execute fresh (cache=False) so the
+        # trace file actually contains the run's event stream.
+        from .runner import run_batch
+        res = run_batch([cfg], jobs=1, cache=False, trace=args.trace)[0]
+    else:
+        res = run_scenario(cfg)
     rows = [(k, round(v, 4)) for k, v in sorted(res.summary.items())]
     return render_table(("metric", "value"), rows,
                         title=f"scenario: {args.transport}/{args.workload}")
+
+
+def _run_report_cmd(args) -> str:
+    from .obs.report import render_report
+    types = None
+    if args.events:
+        types = () if args.events == "all" else tuple(args.events.split(","))
+    return render_report(args.path, run=args.run, limit=args.limit,
+                         types=types)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the table's scenario "
                              "batch (results are identical for any N)")
+        sp.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the batch's trace events to PATH "
+                             "(.jsonl or .jsonl.gz); view with "
+                             "'repro report PATH'")
 
     sub.add_parser("list", help="list experiments")
 
@@ -175,19 +194,40 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--rtt", type=float, default=0.030)
     sc.add_argument("--seed", type=int, default=1)
     sc.add_argument("--time-cap", type=float, default=600.0)
+    sc.add_argument("--trace", metavar="PATH", default=None,
+                    help="write this run's trace events to PATH (forces a "
+                         "fresh, uncached run)")
+
+    rp = sub.add_parser("report",
+                        help="render timeline + coordination audit for a "
+                             "trace file")
+    rp.add_argument("path", help="trace file written with --trace")
+    rp.add_argument("--run", default=None,
+                    help="only this run label (default: all runs)")
+    rp.add_argument("--limit", type=int, default=60, metavar="N",
+                    help="show at most the last N timeline rows per run")
+    rp.add_argument("--events", default=None, metavar="TYPES",
+                    help="comma-separated event types for the timeline, or "
+                         "'all' (default: the adaptation/coordination set)")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        print("experiments:", ", ".join(EXPERIMENTS))
-        print("plus: scenario (custom runs; see --help)")
-        return 0
-    if args.command == "scenario":
-        print(_run_scenario_cmd(args))
-        return 0
-    print(EXPERIMENTS[args.command](args))
+    try:
+        if args.command == "list":
+            print("experiments:", ", ".join(EXPERIMENTS))
+            print("plus: scenario (custom runs; see --help)")
+        elif args.command == "scenario":
+            print(_run_scenario_cmd(args))
+        elif args.command == "report":
+            print(_run_report_cmd(args))
+        else:
+            print(EXPERIMENTS[args.command](args))
+    except BrokenPipeError:
+        # Reports are long; ``repro report ... | head`` is normal usage.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 

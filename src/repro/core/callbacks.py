@@ -74,24 +74,36 @@ class CallbackRegistry:
     def __len__(self) -> int:
         return len(self._regs)
 
-    def evaluate(self, error_ratio: float, metrics: dict
-                 ) -> list[AttributeSet]:
-        """Run all registrations against this period's error ratio."""
+    def evaluate(self, error_ratio: float, metrics: dict,
+                 on_fire: Callable[[str, "AttributeSet | None"], None]
+                 | None = None) -> list[AttributeSet]:
+        """Run all registrations against this period's error ratio.
+
+        ``on_fire(kind, result)`` observes every callback invocation --
+        ``kind`` is ``"upper"``/``"lower"`` and ``result`` is what the
+        callback returned (``None`` for plain-RUDP callbacks that tell the
+        transport nothing).  The sender uses it to trace callback firings.
+        """
         results: list[AttributeSet] = []
         for reg in self._regs:
             fired = None
+            kind = ""
             if error_ratio >= reg.upper:
                 if not (reg.edge_triggered and reg.state == "congested"):
                     fired = reg.on_upper
+                    kind = "upper"
                     self.fired_upper += fired is not None
                 reg.state = "congested"
             elif error_ratio <= reg.lower:
                 if not (reg.edge_triggered and reg.state == "normal"):
                     fired = reg.on_lower
+                    kind = "lower"
                     self.fired_lower += fired is not None
                 reg.state = "normal"
             if fired is not None:
                 out = fired(error_ratio, metrics)
+                if on_fire is not None:
+                    on_fire(kind, out)
                 if out:
                     results.append(out)
         return results

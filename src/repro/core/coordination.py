@@ -46,6 +46,7 @@ drifted while the adaptation was pending.
 
 from __future__ import annotations
 
+from ..obs.events import ATTR_RECEIVED, COORD_ACTION
 from .attributes import (ADAPT_COND, ADAPT_FREQ, ADAPT_MARK, ADAPT_PKTSIZE,
                          ADAPT_WHEN, AttributeSet)
 
@@ -113,36 +114,73 @@ class IQCoordinator(Coordinator):
         if snd is None:
             raise RuntimeError("coordinator not bound to a sender")
 
+        # Trace the exchange; every action below back-references attr_seq so
+        # the report's audit can pair attribute -> transport action.
+        tr = getattr(snd, "trace", None)
+        traced = tr is not None and tr.enabled
+        attr_seq = -1
+        if traced:
+            attr_seq = tr.emit("coord", ATTR_RECEIVED, flow=snd.flow_id,
+                               attrs=attrs.as_dict())
+
         when = attrs.get(ADAPT_WHEN)
         if when == "pending":
             # The application will adapt later (limited granularity).  The
             # transport keeps adapting on its own; nothing to change now.
             self.pending_adaptations += 1
+            if traced:
+                tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                        attr_seq=attr_seq, action="pending")
             return
 
         if ADAPT_MARK in attrs and self.enable_discard:
             p = float(attrs[ADAPT_MARK])
             want = p > 1e-9
-            if want != snd.discard_unmarked:
+            changed = want != snd.discard_unmarked
+            if changed:
                 self.discard_switches += 1
             snd.discard_unmarked = want
+            if traced:
+                tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                        attr_seq=attr_seq, action="discard",
+                        enabled=want, changed=changed, unmark_p=p)
 
         if ADAPT_FREQ in attrs:
             # Deliberately no window change (see module docstring).
             self.freq_adaptations += 1
+            if traced:
+                tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                        attr_seq=attr_seq, action="freq_no_window_change",
+                        freq_chg=float(attrs[ADAPT_FREQ]))
 
         if ADAPT_PKTSIZE in attrs and self.enable_reinflate:
             rate_chg = float(attrs[ADAPT_PKTSIZE])
             if rate_chg >= 1.0:
                 raise ValueError(f"ADAPT_PKTSIZE rate_chg {rate_chg} >= 1")
             if snd.last_frame_size < snd.mss:
-                factor = 1.0 / (1.0 - rate_chg)
+                base_factor = 1.0 / (1.0 - rate_chg)
+                factor = base_factor
+                drift = 1.0
                 cond = attrs.get(ADAPT_COND)
                 if cond is not None and self.use_adapt_cond:
                     e_old = float(cond.get("error_ratio", 0.0))
                     e_new = snd.current_error_ratio()
                     if e_old < 1.0:
-                        factor *= (1.0 - e_new) / (1.0 - e_old)
+                        drift = (1.0 - e_new) / (1.0 - e_old)
+                        factor *= drift
                         self.cond_corrections += 1
+                cwnd_before = snd.cc.cwnd
                 snd.cc.scale_window(factor)
                 self.window_rescales += 1
+                if traced:
+                    tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                            attr_seq=attr_seq, action="window_rescale",
+                            rate_chg=rate_chg, base_factor=base_factor,
+                            drift=drift, factor=factor,
+                            cwnd_before=cwnd_before, cwnd_after=snd.cc.cwnd)
+            elif traced:
+                tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                        attr_seq=attr_seq,
+                        action="rescale_skipped_large_frame",
+                        rate_chg=rate_chg,
+                        last_frame_size=snd.last_frame_size, mss=snd.mss)

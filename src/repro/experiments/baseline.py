@@ -58,7 +58,8 @@ def _table1_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 
 def run_table1(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
-               cache=None) -> dict[str, ScenarioResult]:
+               cache=None,
+               trace: str | None = None) -> dict[str, ScenarioResult]:
     """Run all four Table 1 rows; returns row-name -> ScenarioResult."""
     from ..runner import run_batch
     base = _table1_config(n_frames, seed)
@@ -71,11 +72,12 @@ def run_table1(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
         "IQ-RUDP w/ app adaptation(4)": base.replace(
             transport="iq", adaptation=_adaptation),
     }
-    return run_batch(rows, jobs=jobs, cache=cache)
+    return run_batch(rows, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_table2(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
-               cache=None) -> dict[str, ScenarioResult]:
+               cache=None,
+               trace: str | None = None) -> dict[str, ScenarioResult]:
     """Fairness: the greedy application against a TCP bulk competitor."""
     from ..runner import run_batch
     base = ScenarioConfig(
@@ -85,7 +87,7 @@ def run_table2(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
         "TCP": base.replace(transport="tcp"),
         "IQ-RUDP": base.replace(transport="iq"),
     }
-    return run_batch(rows, jobs=jobs, cache=cache)
+    return run_batch(rows, jobs=jobs, cache=cache, trace=trace)
 
 
 def table_metrics(res: ScenarioResult) -> tuple[float, float, float, float]:

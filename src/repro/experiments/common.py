@@ -18,6 +18,8 @@ from typing import Any, Callable
 
 from ..analysis.stats import flow_summary
 from ..middleware.adaptation import AdaptationStrategy, NullAdaptation
+from ..obs.bus import TraceBus
+from ..obs.metrics import MetricsRegistry, collect_scenario_metrics
 from ..middleware.application import AdaptiveSource
 from ..middleware.receiver import DeliveryLog
 from ..sim.engine import Simulator
@@ -124,7 +126,7 @@ class ScenarioResult:
                  conn, source: AdaptiveSource | None,
                  strategy: AdaptationStrategy,
                  net: Dumbbell, sim: Simulator, completed: bool,
-                 tcp_cross=None):
+                 tcp_cross=None, registry: MetricsRegistry | None = None):
         self.summary = summary
         self.log = log
         self.conn = conn
@@ -134,6 +136,9 @@ class ScenarioResult:
         self.sim = sim
         self.completed = completed
         self.tcp_cross = tcp_cross
+        self.registry = registry
+        # Populated by the traced batch path: the run's TraceEvent list.
+        self.trace = None
 
     def __getitem__(self, key: str) -> float:
         return self.summary[key]
@@ -186,9 +191,19 @@ def make_transport(name: str, sim: Simulator, snd_host, rcv_host, *,
     raise ValueError(f"unknown transport {name!r}")
 
 
-def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
-    """Build and execute one scenario; see module docstring."""
+def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
+    """Build and execute one scenario; see module docstring.
+
+    ``trace_sink`` (any object with ``append(TraceEvent)``) turns on event
+    tracing for this run: an enabled :class:`~repro.obs.TraceBus` is bound
+    to the simulator *before* topology/transport construction so every
+    component caches the live bus.  Tracing is deliberately not part of
+    ``ScenarioConfig`` -- it never changes results, so it must not change
+    cache keys.
+    """
     sim = Simulator()
+    if trace_sink is not None:
+        sim.bus = TraceBus(sim, sinks=[trace_sink])
     streams = RandomStreams(cfg.seed)
     net = Dumbbell(sim, bottleneck_bps=cfg.bottleneck_bps, rtt_s=cfg.rtt_s,
                    mss=cfg.mss, queue_pkts=cfg.queue_pkts)
@@ -294,6 +309,10 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         log, submitted_datagrams=conn.sender.stats.submitted_segments)
     summary["completed"] = float(conn.completed)
     summary["error_ratio_lifetime"] = conn.sender.metrics.lifetime_error_ratio
+    registry = collect_scenario_metrics(MetricsRegistry(), conn=conn, net=net,
+                                        strategy=strategy)
+    summary.update(registry.summary(prefix="obs_"))
     return ScenarioResult(summary=summary, log=log, conn=conn, source=source,
                           strategy=strategy, net=net, sim=sim,
-                          completed=conn.completed, tcp_cross=tcp_cross)
+                          completed=conn.completed, tcp_cross=tcp_cross,
+                          registry=registry)

@@ -78,29 +78,32 @@ def _changing_net_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 
 def run_table3(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
-               cache=None) -> dict[str, ScenarioResult]:
+               cache=None,
+               trace: str | None = None) -> dict[str, ScenarioResult]:
     """Conflict, changing application: IQ-RUDP vs RUDP."""
     from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
     return run_batch({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache)
+    }, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_table4(*, n_frames: int = 6000, seed: int = 1, jobs: int = 1,
-               cache=None) -> dict[str, ScenarioResult]:
+               cache=None,
+               trace: str | None = None) -> dict[str, ScenarioResult]:
     """Conflict, changing network: IQ-RUDP vs RUDP."""
     from ..runner import run_batch
     base = _changing_net_config(n_frames, seed)
     return run_batch({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache)
+    }, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_figure23(*, n_frames: int = 6000, seed: int = 1, cbr_start: float = 2.0,
-                 jobs: int = 1, cache=None) -> dict[str, ScenarioResult]:
+                 jobs: int = 1, cache=None,
+               trace: str | None = None) -> dict[str, ScenarioResult]:
     """Figures 2/3: per-packet jitter series, cross traffic starting at
     ``cbr_start`` so the early packets see an idle network."""
     from ..runner import run_batch
@@ -108,7 +111,7 @@ def run_figure23(*, n_frames: int = 6000, seed: int = 1, cbr_start: float = 2.0,
     return run_batch({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache)
+    }, jobs=jobs, cache=cache, trace=trace)
 
 
 def conflict_metrics(res: ScenarioResult) -> tuple[float, ...]:

@@ -76,18 +76,20 @@ def _changing_net_config(cbr_bps: float, n_frames: int, seed: int
 
 
 def run_table5(*, n_frames: int = 8000, seed: int = 2, jobs: int = 1,
-               cache=None) -> dict[str, ScenarioResult]:
+               cache=None,
+               trace: str | None = None) -> dict[str, ScenarioResult]:
     from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
     return run_batch({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache)
+    }, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
                n_frames: int = 12000, seed: int = 2, jobs: int = 1,
-               cache=None) -> dict[int, dict[str, ScenarioResult]]:
+               cache=None,
+               trace: str | None = None) -> dict[int, dict[str, ScenarioResult]]:
     """The congestion sweep; same VBR cross traffic across rates.
 
     All six (rate, scheme) runs are independent, so the whole sweep fans
@@ -99,7 +101,7 @@ def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
         base = _changing_net_config(rate * 1e6, n_frames, seed)
         configs[(rate, "IQ-RUDP")] = base.replace(transport="iq")
         configs[(rate, "RUDP")] = base.replace(transport="rudp")
-    flat = run_batch(configs, jobs=jobs, cache=cache)
+    flat = run_batch(configs, jobs=jobs, cache=cache, trace=trace)
     out: dict[int, dict[str, ScenarioResult]] = {}
     for (rate, name), res in flat.items():
         out.setdefault(rate, {})[name] = res

@@ -33,6 +33,8 @@ import random
 
 from ..core.attributes import (ADAPT_COND, ADAPT_FREQ, ADAPT_MARK,
                                ADAPT_PKTSIZE, ADAPT_WHEN, AttributeSet)
+from ..obs.bus import NULL_BUS
+from ..obs.events import ADAPT_ACTION
 
 __all__ = ["AdaptationStrategy", "NullAdaptation", "MarkingAdaptation",
            "ResolutionAdaptation", "DelayedResolutionAdaptation",
@@ -63,24 +65,45 @@ class AdaptationStrategy:
         self.freq_scale = 1.0
         self.upper_events = 0
         self.lower_events = 0
+        self.trace = NULL_BUS
+        self._flow = -1
 
     def bind(self, conn, rng: random.Random) -> None:
         """Register threshold callbacks on ``conn`` (a Rudp/IqRudp
         connection).  TCP connections have no callback registry; binding a
         strategy to one is an error the experiments guard against."""
         self._rng = rng
+        self._bind_trace(conn)
         conn.register_callbacks(upper=self.upper, lower=self.lower,
                                 on_upper=self._on_upper,
                                 on_lower=self._on_lower)
 
+    def _bind_trace(self, conn) -> None:
+        sender = getattr(conn, "sender", None)
+        if sender is not None:
+            self.trace = sender.sim.bus
+            self._flow = sender.flow_id
+
     # -- hooks ------------------------------------------------------------
+    def _trace_action(self, trigger: str, eratio: float,
+                      attrs: AttributeSet | None) -> None:
+        tr = self.trace
+        if tr.enabled and attrs is not None:
+            tr.emit("app", ADAPT_ACTION, flow=self._flow, trigger=trigger,
+                    error_ratio=eratio, scale=self.scale,
+                    freq_scale=self.freq_scale, attrs=attrs.as_dict())
+
     def _on_upper(self, eratio: float, metrics: dict) -> AttributeSet | None:
         self.upper_events += 1
-        return self.on_upper(eratio, metrics)
+        out = self.on_upper(eratio, metrics)
+        self._trace_action("upper", eratio, out)
+        return out
 
     def _on_lower(self, eratio: float, metrics: dict) -> AttributeSet | None:
         self.lower_events += 1
-        return self.on_lower(eratio, metrics)
+        out = self.on_lower(eratio, metrics)
+        self._trace_action("lower", eratio, out)
+        return out
 
     def on_upper(self, eratio: float, metrics: dict) -> AttributeSet | None:
         return None
@@ -103,6 +126,7 @@ class NullAdaptation(AdaptationStrategy):
 
     def bind(self, conn, rng: random.Random) -> None:
         self._rng = rng  # registers nothing
+        self._bind_trace(conn)
 
 
 class MarkingAdaptation(AdaptationStrategy):

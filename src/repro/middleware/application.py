@@ -22,6 +22,7 @@ import random
 from typing import Sequence
 
 from ..core.attributes import AttributeSet
+from ..obs.events import ADAPT_ACTION
 from ..sim.engine import Simulator
 from .adaptation import AdaptationStrategy, NullAdaptation
 
@@ -70,6 +71,7 @@ class AdaptiveSource:
         self.frame_rate = frame_rate
         self.mss = mss
         self.rng = rng or random.Random(0)
+        self.trace = sim.bus
         self.strategy.bind(conn, self.rng)
 
         self._idx = 0
@@ -103,6 +105,15 @@ class AdaptiveSource:
 
     def _emit_frame(self, index: int) -> None:
         attrs = self.strategy.frame_attrs(index)
+        if attrs is not None:
+            # A deferred adaptation executing at this frame boundary.
+            tr = self.trace
+            if tr.enabled:
+                tr.emit("app", ADAPT_ACTION, trigger="frame_boundary",
+                        frame=index, applied=True,
+                        scale=self.strategy.scale,
+                        freq_scale=self.strategy.freq_scale,
+                        attrs=attrs.as_dict())
         size = self._frame_size(index)
         if self.strategy.per_datagram_marking:
             self._emit_marked_datagrams(index, size, attrs)

@@ -1,0 +1,43 @@
+"""Observability subsystem: trace bus, metrics registry, sinks and reports.
+
+The paper's argument is causal -- "loss spike -> callback fired ->
+``ADAPT_WHEN``/``ADAPT_COND`` sent -> coordinator re-inflated cwnd" -- yet
+summary numbers alone cannot show that sequence for a given run.  This
+package provides the run-level evidence chain:
+
+* :mod:`.events` -- typed, ``__slots__`` trace events and the event-type
+  vocabulary (packet life cycle, window changes, callback/attribute flow,
+  coordination actions).
+* :mod:`.bus` -- the per-simulation :class:`~repro.obs.bus.TraceBus` and the
+  :data:`~repro.obs.bus.NULL_BUS` null object; with tracing disabled every
+  hook point costs exactly one attribute check.
+* :mod:`.sinks` -- JSONL writer (gzip capable, deterministic ordering so
+  ``jobs=1`` and ``jobs=N`` produce identical files), bounded ring buffer
+  for tests, and the batch trace-file writer with cache-aware run headers.
+* :mod:`.metrics` -- counters/gauges/bounded-reservoir histograms rolled
+  per scenario into ``ScenarioResult.summary`` (``obs_*`` keys); survives
+  ``detach()`` and the persistent runner cache.
+* :mod:`.report` -- the ``repro report`` renderers: per-run adaptation
+  timeline and the coordination audit pairing every ``ADAPT_*`` attribute
+  exchange with the transport action it produced.
+"""
+
+from .bus import NULL_BUS, NullBus, TraceBus
+from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
+                     COORD_ACTION, CWND_CHANGE, EVENT_TYPES, PACKET_ACK,
+                     PACKET_DROP, PACKET_RETX, PACKET_SEND, PERIOD_ROLL,
+                     QUEUE_DEPTH, TraceEvent)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      collect_scenario_metrics)
+from .sinks import JsonlTraceSink, RingBufferSink, read_trace, write_trace
+
+__all__ = [
+    "TraceEvent", "EVENT_TYPES",
+    "PACKET_SEND", "PACKET_DROP", "PACKET_ACK", "PACKET_RETX",
+    "CWND_CHANGE", "QUEUE_DEPTH", "CALLBACK_FIRED", "ATTR_SENT",
+    "ATTR_RECEIVED", "COORD_ACTION", "ADAPT_ACTION", "PERIOD_ROLL",
+    "TraceBus", "NullBus", "NULL_BUS",
+    "JsonlTraceSink", "RingBufferSink", "write_trace", "read_trace",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "collect_scenario_metrics",
+]

@@ -1,0 +1,100 @@
+"""The trace bus: where every instrumented component publishes events.
+
+Design constraints, in order:
+
+1. **The disabled path must be nearly free.**  Every hook point in the
+   simulator's hot loops is written as::
+
+       tr = self.trace
+       if tr.enabled:
+           tr.emit(...)
+
+   With tracing off, ``trace`` is the shared :data:`NULL_BUS` whose
+   ``enabled`` is a class attribute ``False`` -- the hook costs one
+   attribute check and a branch, nothing is allocated, and ``emit`` is
+   never called.  The micro-bench ``bench_trace_overhead`` gates this.
+
+2. **Determinism.**  The bus draws its timestamps from the simulation
+   clock (never the wall clock) and numbers events with a per-bus counter,
+   so a scenario's event stream is a pure function of its config -- the
+   property the jobs=1 == jobs=N trace test pins down.
+
+3. **Serialisability.**  Results that hold a bus (via components that
+   cached it) must still pickle for the worker pool and the persistent
+   cache.  A pickled :class:`TraceBus` comes back *inert*: disabled, no
+   sinks, no simulator reference -- the events themselves travel separately
+   as the worker's collected list.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .events import TraceEvent
+
+__all__ = ["TraceBus", "NullBus", "NULL_BUS"]
+
+
+class NullBus:
+    """Null object for the disabled path.
+
+    ``enabled`` is a *class* attribute so the hook-point check compiles to
+    a plain attribute load; ``emit`` exists only for code that wants to
+    emit unconditionally (it does nothing and allocates nothing).
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def emit(self, layer: str, etype: str, **fields: Any) -> int:
+        return -1
+
+    def __reduce__(self):
+        return (_null_bus, ())  # preserve the singleton across pickling
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullBus>"
+
+
+#: Process-wide null bus; ``Simulator`` attaches it by default.
+NULL_BUS = NullBus()
+
+
+def _null_bus() -> NullBus:
+    return NULL_BUS
+
+
+class TraceBus:
+    """Enabled trace bus bound to one simulator.
+
+    ``emit`` stamps the event with the simulation clock and a monotonically
+    increasing sequence number, fans it out to every sink, and returns the
+    sequence number so callers can correlate follow-up events (the
+    ``ATTR_RECEIVED`` -> ``COORD_ACTION`` pairing the audit relies on).
+    """
+
+    def __init__(self, sim, sinks=()) -> None:
+        self.enabled = True
+        self._sim = sim
+        self._seq = 0
+        self.sinks = list(sinks)
+
+    def emit(self, layer: str, etype: str, **fields: Any) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        ev = TraceEvent(seq, self._sim._now, layer, etype, fields)
+        for sink in self.sinks:
+            sink.append(ev)
+        return seq
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    # -- pickling: come back inert (see module docstring) -----------------
+    def __getstate__(self):
+        return {"enabled": False, "_sim": None, "_seq": self._seq,
+                "sinks": []}
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)

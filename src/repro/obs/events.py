@@ -1,0 +1,102 @@
+"""Trace-event vocabulary and the event record itself.
+
+Every event names *one* causally meaningful step of a run.  The vocabulary
+deliberately mirrors the paper's two control loops plus the substrate they
+share:
+
+========================  =================================================
+Packet life cycle         :data:`PACKET_SEND`, :data:`PACKET_DROP`,
+                          :data:`PACKET_ACK`, :data:`PACKET_RETX`
+Transport adaptation      :data:`CWND_CHANGE`, :data:`PERIOD_ROLL`
+Network state             :data:`QUEUE_DEPTH`
+Application loop          :data:`CALLBACK_FIRED`, :data:`ADAPT_ACTION`
+Coordination channel      :data:`ATTR_SENT`, :data:`ATTR_RECEIVED`,
+                          :data:`COORD_ACTION`
+========================  =================================================
+
+:data:`ATTR_RECEIVED` events carry the attribute set the coordinator saw;
+each :data:`COORD_ACTION` it produces carries ``attr_seq`` -- the sequence
+number of that ``ATTR_RECEIVED`` event -- so the report's coordination audit
+can pair every attribute exchange with the transport action it caused.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = [
+    "PACKET_SEND", "PACKET_DROP", "PACKET_ACK", "PACKET_RETX",
+    "CWND_CHANGE", "QUEUE_DEPTH", "CALLBACK_FIRED", "ATTR_SENT",
+    "ATTR_RECEIVED", "COORD_ACTION", "ADAPT_ACTION", "PERIOD_ROLL",
+    "EVENT_TYPES", "LAYERS", "TraceEvent",
+]
+
+PACKET_SEND = "PACKET_SEND"
+PACKET_DROP = "PACKET_DROP"
+PACKET_ACK = "PACKET_ACK"
+PACKET_RETX = "PACKET_RETX"
+CWND_CHANGE = "CWND_CHANGE"
+QUEUE_DEPTH = "QUEUE_DEPTH"
+CALLBACK_FIRED = "CALLBACK_FIRED"
+ATTR_SENT = "ATTR_SENT"
+ATTR_RECEIVED = "ATTR_RECEIVED"
+COORD_ACTION = "COORD_ACTION"
+ADAPT_ACTION = "ADAPT_ACTION"
+PERIOD_ROLL = "PERIOD_ROLL"
+
+#: The closed vocabulary; sinks and the report validate against it.
+EVENT_TYPES = frozenset({
+    PACKET_SEND, PACKET_DROP, PACKET_ACK, PACKET_RETX, CWND_CHANGE,
+    QUEUE_DEPTH, CALLBACK_FIRED, ATTR_SENT, ATTR_RECEIVED, COORD_ACTION,
+    ADAPT_ACTION, PERIOD_ROLL,
+})
+
+#: Emitting layers, in stack order (used by the report for display only).
+LAYERS = ("net", "transport", "coord", "app")
+
+
+class TraceEvent:
+    """One trace record: ``(seq, t, layer, etype, fields)``.
+
+    ``seq`` is the per-bus emission counter -- the total order of events
+    within one simulation, stable across worker counts because each scenario
+    owns its bus.  ``fields`` is a flat mapping of event-specific data
+    (JSON-serialisable values only); field names must not collide with the
+    reserved keys ``seq``/``t``/``layer``/``event``, which :meth:`as_obj`
+    flattens into the same namespace -- e.g. packet sequence numbers travel
+    as ``pkt``, never ``seq``.
+    """
+
+    __slots__ = ("seq", "t", "layer", "etype", "fields")
+
+    def __init__(self, seq: int, t: float, layer: str, etype: str,
+                 fields: Mapping[str, Any]):
+        self.seq = seq
+        self.t = t
+        self.layer = layer
+        self.etype = etype
+        self.fields = fields
+
+    def as_obj(self) -> dict[str, Any]:
+        """Flat JSON-ready dict; reserved keys first, fields merged in."""
+        obj = {"seq": self.seq, "t": self.t, "layer": self.layer,
+               "event": self.etype}
+        obj.update(self.fields)
+        return obj
+
+    # __slots__ classes need explicit pickle support (workers ship events
+    # back to the batch parent).
+    def __getstate__(self):
+        return (self.seq, self.t, self.layer, self.etype, self.fields)
+
+    def __setstate__(self, state):
+        self.seq, self.t, self.layer, self.etype, self.fields = state
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TraceEvent):
+            return self.__getstate__() == other.__getstate__()
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"<TraceEvent #{self.seq} t={self.t:.6f} {self.etype} {inner}>"

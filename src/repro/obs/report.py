@@ -1,0 +1,184 @@
+"""Run reports: the adaptation timeline and the coordination audit.
+
+``repro report trace.jsonl`` renders, per run:
+
+* a **timeline** of the control-loop events (callback firings, attribute
+  exchanges, coordination actions, window changes, period rolls, ...) in
+  emission order, and
+* a **coordination audit**: every attribute exchange the coordinator saw
+  (``ATTR_RECEIVED``) paired -- via the ``attr_seq`` back-reference each
+  ``COORD_ACTION`` carries -- with the transport action(s) it produced,
+  including the over-reaction base factor ``1/(1-rate_chg)`` and the Eq. 1
+  drift correction ``(1-e_new)/(1-e_old)`` when ``ADAPT_COND`` was applied.
+
+The audit is the report's point: it turns the paper's causal claim
+("application adaptation X made the transport do Y") into a checkable
+table for any given run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..analysis.tables import fmt, render_table
+from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
+                     COORD_ACTION, CWND_CHANGE, PERIOD_ROLL)
+from .sinks import read_trace
+
+__all__ = ["coordination_audit", "render_timeline", "render_report",
+           "TIMELINE_EVENTS"]
+
+#: Event types the timeline shows by default -- the two control loops and
+#: their coupling, without the per-packet firehose.
+TIMELINE_EVENTS = frozenset({
+    CALLBACK_FIRED, ATTR_SENT, ATTR_RECEIVED, COORD_ACTION, ADAPT_ACTION,
+    CWND_CHANGE, PERIOD_ROLL,
+})
+
+#: Keys already shown in dedicated timeline columns.
+_RESERVED = ("seq", "t", "layer", "event")
+
+
+def _details(ev: dict[str, Any]) -> str:
+    """Compact ``k=v`` rendering of an event's type-specific fields."""
+    parts = []
+    for key in sorted(ev):
+        if key in _RESERVED:
+            continue
+        value = ev[key]
+        if isinstance(value, float):
+            value = fmt(value, 4)
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_timeline(events: Sequence[dict[str, Any]], *,
+                    types: Iterable[str] | None = None,
+                    limit: int | None = None) -> str:
+    """Emission-order table of ``events`` (flat dicts from ``read_trace``).
+
+    ``types`` restricts to an event-type subset (default
+    :data:`TIMELINE_EVENTS`); ``types=()`` or any falsy non-None iterable
+    means "all types".  ``limit`` keeps the *last* N rows, where the
+    adaptation endgame lives.
+    """
+    wanted = TIMELINE_EVENTS if types is None else (frozenset(types) or None)
+    picked = [ev for ev in events
+              if wanted is None or ev.get("event") in wanted]
+    shown = picked if limit is None or len(picked) <= limit else picked[-limit:]
+    rows = [[ev.get("seq", ""), f"{ev.get('t', 0.0):.6f}",
+             ev.get("layer", "?"), ev.get("event", "?"), _details(ev)]
+            for ev in shown]
+    title = f"Timeline ({len(shown)}/{len(picked)} events shown)"
+    if not rows:
+        return f"{title}\n  (no matching events)"
+    return render_table(["seq", "t", "layer", "event", "details"], rows,
+                        title=title)
+
+
+def coordination_audit(events: Sequence[dict[str, Any]]
+                       ) -> dict[str, list[dict[str, Any]]]:
+    """Pair every ``ATTR_RECEIVED`` with the ``COORD_ACTION`` events that
+    reference it.
+
+    Returns ``{"pairs": [...], "unmatched_attrs": [...],
+    "unmatched_actions": [...]}`` where each pair is
+    ``{"attr": event, "actions": [event, ...]}``.  ``unmatched_attrs`` are
+    exchanges the coordinator consumed without acting on (legitimately --
+    e.g. an attribute set with nothing the active schemes handle), and
+    ``unmatched_actions`` are actions whose ``attr_seq`` points at no
+    recorded exchange (which would indicate a broken trace).
+    """
+    attrs_by_seq: dict[int, dict[str, Any]] = {}
+    actions_by_attr: dict[int, list[dict[str, Any]]] = {}
+    unmatched_actions: list[dict[str, Any]] = []
+    for ev in events:
+        etype = ev.get("event")
+        if etype == ATTR_RECEIVED:
+            attrs_by_seq[ev["seq"]] = ev
+        elif etype == COORD_ACTION:
+            actions_by_attr.setdefault(ev.get("attr_seq", -1), []).append(ev)
+    pairs = []
+    unmatched_attrs = []
+    for seq, attr_ev in attrs_by_seq.items():
+        actions = actions_by_attr.pop(seq, None)
+        if actions:
+            pairs.append({"attr": attr_ev, "actions": actions})
+        else:
+            unmatched_attrs.append(attr_ev)
+    for leftover in actions_by_attr.values():
+        unmatched_actions.extend(leftover)
+    return {"pairs": pairs, "unmatched_attrs": unmatched_attrs,
+            "unmatched_actions": unmatched_actions}
+
+
+def _audit_rows(audit: dict[str, list[dict[str, Any]]]
+                ) -> list[list[Any]]:
+    rows: list[list[Any]] = []
+    for pair in audit["pairs"]:
+        attr_ev = pair["attr"]
+        attr_txt = _details({k: v for k, v in attr_ev.items()
+                             if k not in _RESERVED and k != "via"})
+        for i, act in enumerate(pair["actions"]):
+            act_txt = _details({k: v for k, v in act.items()
+                                if k not in _RESERVED and k != "attr_seq"})
+            rows.append([attr_ev["seq"] if i == 0 else "",
+                         f"{attr_ev.get('t', 0.0):.6f}" if i == 0 else "",
+                         attr_txt if i == 0 else "",
+                         act.get("action", "?"), act_txt])
+    for attr_ev in audit["unmatched_attrs"]:
+        rows.append([attr_ev["seq"], f"{attr_ev.get('t', 0.0):.6f}",
+                     _details({k: v for k, v in attr_ev.items()
+                               if k not in _RESERVED}), "(no action)", ""])
+    for act in audit["unmatched_actions"]:
+        rows.append(["?", f"{act.get('t', 0.0):.6f}", "(missing exchange)",
+                     act.get("action", "?"),
+                     _details({k: v for k, v in act.items()
+                               if k not in _RESERVED})])
+    return rows
+
+
+def render_audit(events: Sequence[dict[str, Any]]) -> str:
+    audit = coordination_audit(events)
+    n_pairs = len(audit["pairs"])
+    n_unmatched = len(audit["unmatched_attrs"])
+    title = (f"Coordination audit ({n_pairs} exchanges acted on, "
+             f"{n_unmatched} consumed without action)")
+    rows = _audit_rows(audit)
+    if not rows:
+        return f"{title}\n  (no attribute exchanges in trace)"
+    return render_table(["attr_seq", "t", "attributes", "action", "detail"],
+                        rows, title=title)
+
+
+def render_report(path, *, run: str | None = None, limit: int | None = 60,
+                  types: Iterable[str] | None = None) -> str:
+    """Full report for a trace file: per-run timeline + coordination audit.
+
+    ``run`` selects one run label; default renders every run in the file.
+    """
+    header, runs = read_trace(path)
+    if run is not None:
+        runs = [r for r in runs if str(r["run"]) == str(run)]
+        if not runs:
+            raise ValueError(f"run {run!r} not found in {path}")
+    parts = [f"Trace report: {path} "
+             f"(format {header.get('format')} v{header.get('version')}, "
+             f"{len(runs)} run(s))"]
+    for entry in runs:
+        meta = _details(entry.get("meta") or {})
+        head = f"== run {entry['run']}"
+        if meta:
+            head += f" [{meta}]"
+        if entry.get("cached"):
+            head += " (served from cache: no event stream recorded)"
+        parts.append("")
+        parts.append(head)
+        if entry.get("cached"):
+            continue
+        events = entry["events"]
+        parts.append("")
+        parts.append(render_timeline(events, types=types, limit=limit))
+        parts.append("")
+        parts.append(render_audit(events))
+    return "\n".join(parts)

@@ -1,0 +1,193 @@
+"""Trace sinks and the on-disk JSONL trace format.
+
+File format (one JSON object per line, ``sort_keys`` so files are
+byte-stable):
+
+* line 1 -- ``{"type": "header", "format": "repro-trace", "version": 1,
+  "runs": N}``
+* per run, in batch order -- ``{"type": "run", "run": <label>,
+  "cached": <bool>, "events": <count>, ...meta}`` followed by that run's
+  event lines ``{"type": "event", "run": <label>, "seq": ..., "t": ...,
+  "layer": ..., "event": ..., ...fields}``.
+
+Cache-served runs carry ``"cached": true`` and zero event lines: the
+persistent results cache stores metrics, not event streams, so a hit is
+honest about what it can and cannot replay.
+
+Determinism: events are written in per-run emission (``seq``) order and
+runs in batch order, both independent of worker count; gzip output pins
+``mtime=0`` so even the compressed bytes are reproducible.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import pathlib
+from collections import deque
+from typing import Any, Iterable
+
+from .events import TraceEvent
+
+__all__ = ["RingBufferSink", "JsonlTraceSink", "write_trace", "read_trace",
+           "event_obj"]
+
+_FORMAT = "repro-trace"
+_VERSION = 1
+
+
+def _dumps(obj: dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def event_obj(ev: "TraceEvent | dict[str, Any]") -> dict[str, Any]:
+    """Normalise an event (record or already-parsed dict) to a flat dict."""
+    return ev.as_obj() if isinstance(ev, TraceEvent) else dict(ev)
+
+
+class RingBufferSink:
+    """In-memory sink; bounded when ``capacity`` is given (keeps the most
+    recent events), unbounded otherwise.  The workers' collection sink and
+    the tests' observation point."""
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = capacity
+        self._buf: deque[TraceEvent] = deque(maxlen=capacity)
+        self.appended = 0
+
+    def append(self, ev: TraceEvent) -> None:
+        self._buf.append(ev)
+        self.appended += 1
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self):
+        return iter(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+
+def _open_text(path: pathlib.Path, mode: str):
+    """Text handle; transparent deterministic gzip for ``*.gz`` paths."""
+    if str(path).endswith(".gz"):
+        if "w" in mode:
+            raw = open(path, "wb")
+            gz = gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0)
+            return io.TextIOWrapper(gz, encoding="utf-8", newline="\n")
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8", newline="\n" if "w" in mode
+                else None)
+
+
+class JsonlTraceSink:
+    """Streaming JSONL sink for single-scenario (CLI ``--trace``) runs.
+
+    Accepts :class:`TraceEvent` appends plus explicit meta lines; callers
+    must :meth:`close` (or use as a context manager) to flush.
+    """
+
+    def __init__(self, path: str | pathlib.Path, *, run: str = "0"):
+        self.path = pathlib.Path(path)
+        self.run = run
+        self._fh = _open_text(self.path, "wt")
+        self.events_written = 0
+
+    def write_meta(self, obj: dict[str, Any]) -> None:
+        self._fh.write(_dumps(obj) + "\n")
+
+    def append(self, ev: TraceEvent) -> None:
+        obj = {"type": "event", "run": self.run}
+        obj.update(ev.as_obj())
+        self._fh.write(_dumps(obj) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_trace(path: str | pathlib.Path,
+                runs: Iterable[dict[str, Any]]) -> int:
+    """Write a complete batch trace file; returns total events written.
+
+    ``runs`` is an iterable of ``{"run": label, "cached": bool,
+    "events": [TraceEvent|dict, ...], "meta": {...}}`` in batch order.
+    """
+    runs = list(runs)
+    total = 0
+    with _open_text(pathlib.Path(path), "wt") as fh:
+        fh.write(_dumps({"type": "header", "format": _FORMAT,
+                         "version": _VERSION, "runs": len(runs)}) + "\n")
+        for entry in runs:
+            label = str(entry["run"])
+            events = [] if entry.get("cached") else list(
+                entry.get("events") or ())
+            head = {"type": "run", "run": label,
+                    "cached": bool(entry.get("cached")),
+                    "events": len(events)}
+            head.update(entry.get("meta") or {})
+            fh.write(_dumps(head) + "\n")
+            for ev in events:
+                obj = {"type": "event", "run": label}
+                obj.update(event_obj(ev))
+                fh.write(_dumps(obj) + "\n")
+                total += 1
+    return total
+
+
+def read_trace(path: str | pathlib.Path
+               ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Parse a trace file into ``(header, runs)``.
+
+    Each run is ``{"run": label, "cached": bool, "meta": {...},
+    "events": [flat event dict, ...]}``.  Raises ``ValueError`` on files
+    that are not repro traces.
+    """
+    header: dict[str, Any] | None = None
+    runs: list[dict[str, Any]] = []
+    by_label: dict[str, dict[str, Any]] = {}
+    with _open_text(pathlib.Path(path), "rt") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.get("type")
+            if kind == "header":
+                if obj.get("format") != _FORMAT:
+                    raise ValueError(f"not a {_FORMAT} file: {path}")
+                header = obj
+            elif kind == "run":
+                meta = {k: v for k, v in obj.items()
+                        if k not in ("type", "run", "cached", "events")}
+                entry = {"run": obj["run"], "cached": bool(obj.get("cached")),
+                         "meta": meta, "events": []}
+                runs.append(entry)
+                by_label[obj["run"]] = entry
+            elif kind == "event":
+                label = obj.get("run", "0")
+                entry = by_label.get(label)
+                if entry is None:  # tolerate headerless single-run streams
+                    entry = {"run": label, "cached": False, "meta": {},
+                             "events": []}
+                    runs.append(entry)
+                    by_label[label] = entry
+                entry["events"].append(
+                    {k: v for k, v in obj.items() if k not in ("type", "run")})
+    if header is None:
+        raise ValueError(f"missing trace header in {path}")
+    return header, runs

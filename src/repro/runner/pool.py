@@ -9,6 +9,14 @@ bit-identical -- and the pool is free to schedule runs in any order.
 Results returned by :func:`run_batch` are *detached* (their simulator heap
 is drained, see ``ScenarioResult.detach``): they carry every metric, log
 and counter the benches read, but can no longer be resumed.
+
+Tracing (``trace=PATH``) rides on the same machinery: every cache *miss*
+runs with a per-scenario :class:`~repro.obs.TraceBus` collecting into an
+in-memory sink, the events ship back to the parent with the result, and the
+parent writes one deterministic JSONL file with the runs in batch order --
+so the trace file, like the results, is identical for any worker count.
+Cache *hits* are recorded in the trace header as ``"cached": true`` with no
+event stream (the cache stores metrics, not events).
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Mapping, Sequence
 
 from ..experiments.common import ScenarioConfig, ScenarioResult, run_scenario
+from ..obs.sinks import RingBufferSink, write_trace
 from .cache import ResultsCache, cache_enabled, default_cache
 from .hashing import config_key
 
@@ -28,6 +37,21 @@ def _run_detached(cfg: ScenarioConfig) -> ScenarioResult:
     """Worker entry point: execute one scenario and strip the event heap
     so the result pickles back to the parent."""
     return run_scenario(cfg).detach()
+
+
+def _run_traced(cfg: ScenarioConfig) -> ScenarioResult:
+    """Worker entry point for traced batches: collect the run's full event
+    stream and attach it to the (detached, picklable) result."""
+    sink = RingBufferSink()
+    res = run_scenario(cfg, trace_sink=sink).detach()
+    res.trace = sink.events
+    return res
+
+
+def _trace_meta(cfg: ScenarioConfig) -> dict[str, Any]:
+    """Per-run header fields for the trace file."""
+    return {"transport": cfg.transport, "workload": cfg.workload,
+            "seed": cfg.seed}
 
 
 def _resolve_cache(cache: ResultsCache | bool | None) -> ResultsCache | None:
@@ -45,15 +69,17 @@ def _resolve_cache(cache: ResultsCache | bool | None) -> ResultsCache | None:
 
 
 def run_one(cfg: ScenarioConfig, *,
-            cache: ResultsCache | bool | None = None) -> ScenarioResult:
+            cache: ResultsCache | bool | None = None,
+            trace: str | None = None) -> ScenarioResult:
     """Cached single-scenario run (always detached)."""
-    return run_batch([cfg], cache=cache)[0]
+    return run_batch([cfg], cache=cache, trace=trace)[0]
 
 
 def run_batch(configs: Mapping[Any, ScenarioConfig] |
               Sequence[ScenarioConfig], *,
               jobs: int | None = 1,
-              cache: ResultsCache | bool | None = None):
+              cache: ResultsCache | bool | None = None,
+              trace: str | None = None):
     """Execute a batch of independent scenarios, in parallel when asked.
 
     ``configs`` is either a mapping (returns ``{key: ScenarioResult}``,
@@ -61,11 +87,15 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
     is the worker-process count; ``None`` or ``1`` runs in-process, and
     only cache *misses* are fanned out.  Configs whose fields cannot be
     stably hashed (lambda adaptation factories) always run fresh.
+
+    ``trace`` names a JSONL(.gz) file to write the batch's event streams
+    to; see the module docstring for determinism and cache semantics.
     """
     keyed = isinstance(configs, Mapping)
     names = list(configs.keys()) if keyed else None
     cfgs = list(configs.values()) if keyed else list(configs)
     store = _resolve_cache(cache)
+    worker = _run_traced if trace is not None else _run_detached
 
     results: list[ScenarioResult | None] = [None] * len(cfgs)
     misses: list[int] = []
@@ -83,16 +113,34 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
         todo = [cfgs[i] for i in misses]
         if jobs is not None and jobs > 1 and len(todo) > 1:
             with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as ex:
-                fresh = list(ex.map(_run_detached, todo))
+                fresh = list(ex.map(worker, todo))
         else:
-            fresh = [_run_detached(cfg) for cfg in todo]
+            fresh = [worker(cfg) for cfg in todo]
         for i, res in zip(misses, fresh):
             results[i] = res
             if store is not None and keys[i] is not None:
+                # Event streams are per-run evidence, not results: they are
+                # deliberately kept out of the persistent cache payload.
+                events = res.trace
+                res.trace = None
                 try:
                     store.put(keys[i], res)
                 except (pickle.PicklingError, TypeError, AttributeError):
                     pass  # unpicklable payloads just skip persistence
+                finally:
+                    res.trace = events
+
+    if trace is not None:
+        run_entries = []
+        for i, (cfg, res) in enumerate(zip(cfgs, results)):
+            label = str(names[i]) if keyed else str(i)
+            cached = i not in misses
+            run_entries.append({
+                "run": label, "cached": cached,
+                "events": None if cached else getattr(res, "trace", None),
+                "meta": _trace_meta(cfg),
+            })
+        write_trace(trace, run_entries)
 
     if keyed:
         return dict(zip(names, results))

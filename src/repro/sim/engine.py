@@ -39,6 +39,8 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Iterator
 
+from ..obs.bus import NULL_BUS
+
 __all__ = ["Event", "Simulator", "SimulationError"]
 
 #: Compaction floor: heaps smaller than this are never compacted (the
@@ -124,6 +126,17 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._dead = 0   # cancelled entries not yet popped/compacted
+        # Trace bus; components cache this at construction, so replace it
+        # (with an enabled repro.obs TraceBus) before building topology.
+        self.bus = NULL_BUS
+        self._flow_ids = 0
+
+    def next_flow_id(self) -> int:
+        """Flow identifiers are allocated per simulation (not per process)
+        so a scenario's packet flows -- and therefore its trace -- are a
+        pure function of its config."""
+        self._flow_ids += 1
+        return self._flow_ids
 
     # ------------------------------------------------------------------
     # Clock

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from ..obs.events import PACKET_DROP
 from .engine import Simulator
 from .packet import Packet
 from .queues import DropTailQueue
@@ -71,7 +72,10 @@ class Link:
         self.delay_s = delay_s
         self.sink = sink
         self.name = name
+        self.trace = sim.bus
         self.queue = DropTailQueue(queue_bytes, on_drop=on_drop)
+        self.queue.trace = self.trace
+        self.queue.name = name
         self.loss = loss or LossModel()
         self._busy = False
         self.up = True
@@ -90,8 +94,18 @@ class Link:
         or the link is administratively down."""
         if not self.up:
             self.packets_lost_wire += 1
+            tr = self.trace
+            if tr.enabled:
+                tr.emit("net", PACKET_DROP, link=self.name, kind="down",
+                        flow=pkt.flow_id, pkt=pkt.seq, size=pkt.wire_size)
             return False
         if not self.queue.push(pkt):
+            tr = self.trace
+            if tr.enabled:
+                tr.emit("net", PACKET_DROP, link=self.name, kind="queue",
+                        flow=pkt.flow_id, pkt=pkt.seq, size=pkt.wire_size,
+                        queued_pkts=len(self.queue),
+                        queued_bytes=self.queue.bytes)
             return False
         if not self._busy:
             self._start_transmission()
@@ -113,6 +127,10 @@ class Link:
                               priority=-1)
         else:
             self.packets_lost_wire += 1
+            tr = self.trace
+            if tr.enabled:
+                tr.emit("net", PACKET_DROP, link=self.name, kind="wire",
+                        flow=pkt.flow_id, pkt=pkt.seq, size=pkt.wire_size)
         if not self.queue.empty:
             self._start_transmission()
         else:

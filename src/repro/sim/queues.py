@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from ..obs.bus import NULL_BUS
+from ..obs.events import QUEUE_DEPTH
 from .packet import Packet
 
 __all__ = ["DropTailQueue", "REDQueue", "QueueStats"]
@@ -49,7 +51,8 @@ class DropTailQueue:
     every packet the simulation forwards crosses :meth:`push`/:meth:`pop`.
     """
 
-    __slots__ = ("capacity_bytes", "on_drop", "_q", "_bytes", "stats")
+    __slots__ = ("capacity_bytes", "on_drop", "_q", "_bytes", "stats",
+                 "trace", "name")
 
     def __init__(self, capacity_bytes: int,
                  on_drop: Callable[[Packet], None] | None = None):
@@ -60,6 +63,9 @@ class DropTailQueue:
         self._q: deque[Packet] = deque()
         self._bytes = 0
         self.stats = QueueStats()
+        # Owning Link rebinds these; standalone queues stay untraced.
+        self.trace = NULL_BUS
+        self.name = "queue"
 
     def __len__(self) -> int:
         return len(self._q)
@@ -93,6 +99,13 @@ class DropTailQueue:
             st.peak_bytes = new_bytes
         if len(q) > st.peak_packets:
             st.peak_packets = len(q)
+            # Emitting only on new occupancy peaks keeps the event count
+            # O(peak) rather than O(packets).
+            tr = self.trace
+            if tr.enabled:
+                tr.emit("net", QUEUE_DEPTH, queue=self.name,
+                        pkts=len(q), bytes=new_bytes,
+                        capacity=self.capacity_bytes)
         return True
 
     def pop(self) -> Packet:

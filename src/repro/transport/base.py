@@ -26,6 +26,8 @@ from typing import Any, Callable
 
 from ..core.attributes import AttributeService, AttributeSet
 from ..core.callbacks import CallbackRegistry
+from ..obs.events import (ATTR_SENT, CALLBACK_FIRED, CWND_CHANGE, PACKET_ACK,
+                          PACKET_RETX, PACKET_SEND)
 from ..core.coordination import Coordinator, NullCoordinator
 from ..core.metrics_export import MetricsWindow
 from ..sim.engine import Event, Simulator
@@ -41,13 +43,14 @@ __all__ = ["FlowStats", "WindowedSender", "WindowedReceiver",
 
 DUP_ACK_THRESHOLD = 3
 
-_flow_counter = [0]
+def make_flow_id(sim) -> int:
+    """Flow identifier unique within ``sim``.
 
-
-def make_flow_id() -> int:
-    """Globally unique flow identifier (per process)."""
-    _flow_counter[0] += 1
-    return _flow_counter[0]
+    Ids come from a per-simulator counter, never process-global state:
+    identical configs then produce identical flow ids (and identical trace
+    streams) no matter how many runs the process executed before.
+    """
+    return sim.next_flow_id()
 
 
 class FlowStats:
@@ -110,7 +113,7 @@ class WindowedSender:
         self.cc = cc
         self.mss = mss
         self.rwnd = rwnd
-        self.flow_id = flow_id if flow_id is not None else make_flow_id()
+        self.flow_id = flow_id if flow_id is not None else make_flow_id(sim)
         self.reliability = reliability or FullReliability()
         self.coordinator = coordinator or NullCoordinator()
         self.coordinator.bind(self)
@@ -152,6 +155,22 @@ class WindowedSender:
         self._epoch_lost = 0
         self._epoch_max_inflight = 0
 
+        # Tracing: cache the bus; with tracing off every hook below is one
+        # attribute check.  The cwnd observer is wired only when tracing is
+        # on so the congestion laws keep their zero-overhead default.
+        tr = sim.bus
+        self.trace = tr
+        if tr.enabled:
+            self.metrics.trace = tr
+            self.metrics.flow = self.flow_id
+
+            def _cwnd_observed(reason: str, old: float, new: float,
+                               _tr=tr, _flow=self.flow_id) -> None:
+                _tr.emit("transport", CWND_CHANGE, flow=_flow,
+                         reason=reason, old=old, new=new)
+
+            self.cc.observer = _cwnd_observed
+
         host.bind(port, self)
         if self.cc.needs_epochs:
             self.sim.schedule(metric_period, self._noop)  # keep heap warm
@@ -181,6 +200,10 @@ class WindowedSender:
             raise RuntimeError("submit after finish()")
         self.last_frame_size = size
         if attrs:
+            tr = self.trace
+            if tr.enabled:
+                tr.emit("transport", ATTR_SENT, flow=self.flow_id,
+                        via="cmwritev_attr", attrs=attrs.as_dict())
             self.coordinator.on_send_attrs(attrs)
         now = self.sim.now
         nseg = (size + self.mss - 1) // self.mss
@@ -260,6 +283,11 @@ class WindowedSender:
         wire.sent_at = pkt.sent_at
         if wire.skip:
             wire.size = 0
+        tr = self.trace
+        if tr.enabled:
+            tr.emit("transport", PACKET_SEND, flow=self.flow_id, pkt=pkt.seq,
+                    size=wire.size, marked=pkt.marked, skip=pkt.skip,
+                    inflight=self.inflight)
         self.host.send(wire)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += wire.size
@@ -281,6 +309,10 @@ class WindowedSender:
         else:
             pkt.retransmit += 1
             self.stats.retransmissions += 1
+        tr = self.trace
+        if tr.enabled:
+            tr.emit("transport", PACKET_RETX, flow=self.flow_id, pkt=seq,
+                    reason="timeout" if timeout else "fast", skip=pkt.skip)
         self._transmit(pkt)
         if timeout:
             self.stats.timeouts += 1
@@ -301,6 +333,10 @@ class WindowedSender:
 
     def _on_new_ack(self, ack: int) -> None:
         newly = ack - self.snd_una
+        tr = self.trace
+        if tr.enabled:
+            tr.emit("transport", PACKET_ACK, flow=self.flow_id, ack=ack,
+                    newly=newly)
         sample: float | None = None
         for s in range(self.snd_una, ack):
             entry = self._window.pop(s, None)
@@ -442,8 +478,24 @@ class WindowedSender:
             return
         pm = self.metrics.roll(self.sim.now, self.rtt.rtt, self.cc.cwnd)
         if pm.sent >= self.MIN_PERIOD_SAMPLES:
-            results = self.callbacks.evaluate(pm.error_ratio, pm.as_dict())
+            tr = self.trace
+            on_fire = None
+            if tr.enabled:
+                flow = self.flow_id
+
+                def on_fire(kind, out, _tr=tr, _flow=flow,
+                            _eratio=pm.error_ratio):
+                    _tr.emit("transport", CALLBACK_FIRED, flow=_flow,
+                             kind=kind, error_ratio=_eratio,
+                             returned_attrs=out is not None)
+
+            results = self.callbacks.evaluate(pm.error_ratio, pm.as_dict(),
+                                              on_fire)
             for attrs in results:
+                tr = self.trace
+                if tr.enabled:
+                    tr.emit("transport", ATTR_SENT, flow=self.flow_id,
+                            via="callback", attrs=attrs.as_dict())
                 self.coordinator.on_callback_result(attrs)
         self._pump()
         self.sim.schedule(self.metrics.period, self._metric_tick)

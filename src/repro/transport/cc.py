@@ -42,6 +42,24 @@ class CongestionControl(abc.ABC):
         self.cwnd = float(initial_cwnd)
         self.min_cwnd = float(min_cwnd)
         self.max_cwnd = float(max_cwnd)
+        # Optional ``observer(reason, old_cwnd, new_cwnd)``; notified on
+        # *discrete* window events (loss responses, coordination rescales,
+        # LDA epochs) -- never per ACK, which would swamp any trace.  The
+        # sender wires this only when its simulator is being traced.
+        self.observer = None
+
+    def _notify(self, reason: str, old: float) -> None:
+        obs = self.observer
+        if obs is not None and self.cwnd != old:
+            obs(reason, old, self.cwnd)
+
+    # The observer is live wiring (a closure over the trace bus), not part
+    # of the congestion state: results shipped between pool workers and the
+    # parent pickle without it.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["observer"] = None
+        return state
 
     # -- event hooks ----------------------------------------------------
     @abc.abstractmethod
@@ -73,7 +91,9 @@ class CongestionControl(abc.ABC):
         Returns the new window.
         """
         factor = min(max(factor, 0.25), 4.0)
+        old = self.cwnd
         self.cwnd = min(max(self.cwnd * factor, self.min_cwnd), self.max_cwnd)
+        self._notify("coord_rescale", old)
         return self.cwnd
 
     def _clamp(self) -> None:
@@ -104,22 +124,28 @@ class RenoCC(CongestionControl):
         self._clamp()
 
     def on_fast_retransmit(self, inflight: int) -> None:
+        old = self.cwnd
         self.ssthresh = max(inflight / 2.0, 2.0)
         self.cwnd = self.ssthresh + 3.0
         self._clamp()
+        self._notify("fast_retransmit", old)
 
     def on_dupack_in_recovery(self) -> None:
         self.cwnd += 1.0
         self._clamp()
 
     def on_recovery_exit(self) -> None:
+        old = self.cwnd
         self.cwnd = self.ssthresh
         self._clamp()
+        self._notify("recovery_exit", old)
 
     def on_timeout(self, inflight: int) -> None:
+        old = self.cwnd
         self.ssthresh = max(inflight / 2.0, 2.0)
         self.cwnd = self.min_cwnd
         self._clamp()
+        self._notify("timeout", old)
 
 
 class FixedWindowCC(CongestionControl):

@@ -23,6 +23,10 @@ class IqRudpConnection(RudpConnection):
     The three ``enable_*`` switches expose the paper's ablations: Table 8's
     "IQ-RUDP w/o ADAPT_COND" is ``use_adapt_cond=False``; setting all three
     False degenerates to plain RUDP (tested as an invariant).
+
+    When the simulator carries an enabled :class:`repro.obs.TraceBus`, the
+    coordinator emits ``ATTR_RECEIVED``/``COORD_ACTION`` events for every
+    exchange, which is what ``repro report``'s coordination audit pairs up.
     """
 
     def __init__(self, *args, discard_unmarked: bool = True,

@@ -77,6 +77,7 @@ class LdaCC(CongestionControl):
         self.epochs += 1
         if sent <= 0:
             return
+        old = self.cwnd
         loss_ratio = lost / sent
         if lost == 0:
             self._cooldown = 0
@@ -95,6 +96,7 @@ class LdaCC(CongestionControl):
             # Leaving startup: future growth is additive.
             self.ssthresh = min(self.ssthresh, self.cwnd)
         self._clamp()
+        self._notify("epoch_decrease" if lost else "epoch_increase", old)
 
     def on_fast_retransmit(self, inflight: int) -> None:
         # Loss is accounted at the epoch boundary; no immediate cut.  This is
@@ -105,7 +107,9 @@ class LdaCC(CongestionControl):
         # A timeout means the ACK clock stalled -- collapse and re-enter the
         # doubling ramp toward half the old window (slow-start analogue), so
         # the flow recovers in a few epochs instead of crawling additively.
+        old = self.cwnd
         self.ssthresh = max(self.cwnd / 2.0, 4.0)
         self.cwnd = self.min_cwnd
         self._cooldown = 1
         self._clamp()
+        self._notify("timeout", old)

@@ -50,7 +50,7 @@ class RudpConnection:
                  on_deliver: Callable[[Packet, float], None] | None = None,
                  on_complete: Callable[[float], None] | None = None,
                  on_space: Callable[[], None] | None = None):
-        flow_id = make_flow_id()
+        flow_id = make_flow_id(sim)
         self.service = AttributeService()
         self.callbacks = CallbackRegistry()
         reliability: ReliabilityPolicy
@@ -98,3 +98,9 @@ class RudpConnection:
     @property
     def completed(self) -> bool:
         return self.sender.completed
+
+    @property
+    def trace(self):
+        """The trace bus this flow publishes to (``NULL_BUS`` unless the
+        owning simulator was given an enabled ``repro.obs`` bus)."""
+        return self.sender.trace

@@ -35,7 +35,7 @@ class TcpConnection:
                  on_complete: Callable[[float], None] | None = None,
                  on_space: Callable[[], None] | None = None,
                  initial_ssthresh: float = 64.0):
-        flow_id = make_flow_id()
+        flow_id = make_flow_id(sim)
         self.service = AttributeService()
         self.receiver = WindowedReceiver(
             sim, receiver_host, port=port, peer_addr=sender_host.address,

@@ -30,7 +30,7 @@ class UdpSender:
         self.peer_addr = peer_addr
         self.peer_port = peer_port
         self.mss = mss
-        self.flow_id = flow_id if flow_id is not None else make_flow_id()
+        self.flow_id = flow_id if flow_id is not None else make_flow_id(sim)
         self.packets_sent = 0
         self.bytes_sent = 0
         self._seq = 0

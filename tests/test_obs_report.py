@@ -1,0 +1,211 @@
+"""Report tests: the coordination audit on the paper's three coordination
+cases (conflict discard, over-reaction re-inflation, limited-granularity
+drift correction), plus timeline/report rendering."""
+
+import pytest
+
+from repro.core.attributes import (ADAPT_COND, ADAPT_MARK, ADAPT_PKTSIZE,
+                                   ADAPT_WHEN, AttributeSet)
+from repro.core.coordination import IQCoordinator
+from repro.obs.bus import TraceBus
+from repro.obs.events import (ATTR_RECEIVED, COORD_ACTION, CWND_CHANGE,
+                              PACKET_SEND)
+from repro.obs.report import (TIMELINE_EVENTS, coordination_audit,
+                              render_audit, render_report, render_timeline)
+from repro.obs.sinks import RingBufferSink
+from repro.sim.engine import Simulator
+from repro.transport.lda import LdaCC
+
+
+class TracedSender:
+    """Minimal sender surface for the coordinator, with a live bus."""
+
+    def __init__(self, *, cwnd=20.0, frame_size=700, error_ratio=0.0):
+        self.cc = LdaCC(initial_cwnd=cwnd, initial_ssthresh=4)
+        self.mss = 1400
+        self.last_frame_size = frame_size
+        self.discard_unmarked = False
+        self.flow_id = 1
+        self._eratio = error_ratio
+        self.sink = RingBufferSink()
+        self.trace = TraceBus(Simulator(), sinks=[self.sink])
+
+    def current_error_ratio(self):
+        return self._eratio
+
+    @property
+    def events(self):
+        return [ev.as_obj() for ev in self.sink.events]
+
+
+def drive(snd, *attr_sets):
+    coord = IQCoordinator()
+    coord.bind(snd)
+    for attrs in attr_sets:
+        coord.on_callback_result(attrs)
+    return coord
+
+
+def action_events(events, action):
+    return [ev for ev in events
+            if ev["event"] == COORD_ACTION and ev["action"] == action]
+
+
+class TestAuditPaperCases:
+    def test_conflict_marking_pairs_with_discard(self):
+        """Section 3.3: an ADAPT_MARK exchange must pair with the discard
+        switch it caused."""
+        snd = TracedSender()
+        drive(snd, AttributeSet({ADAPT_MARK: 0.4}))
+        events = snd.events
+        (act,) = action_events(events, "discard")
+        assert act["enabled"] is True and act["changed"] is True
+        assert act["unmark_p"] == pytest.approx(0.4)
+        audit = coordination_audit(events)
+        assert len(audit["pairs"]) == 1
+        assert audit["unmatched_attrs"] == []
+        assert audit["unmatched_actions"] == []
+        pair = audit["pairs"][0]
+        assert pair["attr"]["event"] == ATTR_RECEIVED
+        assert pair["actions"][0]["attr_seq"] == pair["attr"]["seq"]
+
+    def test_overreaction_reinflates_by_paper_factor(self):
+        """Section 3.4: rate_chg = 0.5 with a sub-MSS frame re-inflates the
+        window by exactly 1/(1-rate_chg) = 2x."""
+        snd = TracedSender(cwnd=20.0, frame_size=700)
+        drive(snd, AttributeSet({ADAPT_PKTSIZE: 0.5}))
+        (act,) = action_events(snd.events, "window_rescale")
+        assert act["base_factor"] == pytest.approx(1.0 / (1.0 - 0.5))
+        assert act["drift"] == pytest.approx(1.0)
+        assert act["factor"] == pytest.approx(2.0)
+        assert act["cwnd_after"] == pytest.approx(act["cwnd_before"] * 2.0)
+        assert snd.cc.cwnd == pytest.approx(40.0)
+
+    def test_overreaction_skipped_for_large_frames(self):
+        """The paper only re-inflates when the frame is smaller than the
+        MSS; the audit still records why nothing changed."""
+        snd = TracedSender(cwnd=20.0, frame_size=1400)
+        drive(snd, AttributeSet({ADAPT_PKTSIZE: 0.5}))
+        (act,) = action_events(snd.events, "rescale_skipped_large_frame")
+        assert act["last_frame_size"] == 1400 and act["mss"] == 1400
+        assert snd.cc.cwnd == pytest.approx(20.0)
+        assert len(coordination_audit(snd.events)["pairs"]) == 1
+
+    def test_granularity_pending_then_drift_corrected_rescale(self):
+        """Section 3.5: a pending adaptation followed by the executed change
+        with ADAPT_COND applies the Eq. 1 drift (1-e_new)/(1-e_old)."""
+        snd = TracedSender(cwnd=20.0, frame_size=700, error_ratio=0.05)
+        coord = drive(
+            snd,
+            AttributeSet({ADAPT_WHEN: "pending"}),
+            AttributeSet({ADAPT_PKTSIZE: 0.2,
+                          ADAPT_COND: {"error_ratio": 0.1}}))
+        events = snd.events
+        assert len(action_events(events, "pending")) == 1
+        (act,) = action_events(events, "window_rescale")
+        drift = (1.0 - 0.05) / (1.0 - 0.1)
+        assert act["drift"] == pytest.approx(drift)
+        assert act["factor"] == pytest.approx(1.0 / (1.0 - 0.2) * drift)
+        assert coord.pending_adaptations == 1
+        assert coord.cond_corrections == 1
+        audit = coordination_audit(events)
+        assert len(audit["pairs"]) == 2  # both exchanges acted on
+        assert audit["unmatched_actions"] == []
+
+
+class TestAuditEdges:
+    def test_unmatched_attr_and_action(self):
+        events = [
+            {"seq": 0, "t": 0.0, "layer": "coord", "event": ATTR_RECEIVED,
+             "attrs": {}},
+            {"seq": 5, "t": 0.1, "layer": "coord", "event": COORD_ACTION,
+             "attr_seq": 99, "action": "discard"},
+        ]
+        audit = coordination_audit(events)
+        assert audit["pairs"] == []
+        assert len(audit["unmatched_attrs"]) == 1
+        assert len(audit["unmatched_actions"]) == 1
+        text = render_audit(events)
+        assert "(no action)" in text and "(missing exchange)" in text
+
+    def test_render_audit_empty(self):
+        assert "no attribute exchanges" in render_audit([])
+
+
+class TestTimeline:
+    EVENTS = [
+        {"seq": 0, "t": 0.0, "layer": "transport", "event": PACKET_SEND,
+         "size": 1400},
+        {"seq": 1, "t": 0.1, "layer": "transport", "event": CWND_CHANGE,
+         "reason": "timeout", "old": 8.0, "new": 1.0},
+        {"seq": 2, "t": 0.2, "layer": "coord", "event": COORD_ACTION,
+         "attr_seq": 1, "action": "pending"},
+    ]
+
+    def test_default_filter_hides_packet_firehose(self):
+        text = render_timeline(self.EVENTS)
+        assert PACKET_SEND not in TIMELINE_EVENTS
+        assert "PACKET_SEND" not in text
+        assert "CWND_CHANGE" in text and "COORD_ACTION" in text
+
+    def test_explicit_types_and_all(self):
+        only = render_timeline(self.EVENTS, types=[PACKET_SEND])
+        assert "PACKET_SEND" in only and "CWND_CHANGE" not in only
+        everything = render_timeline(self.EVENTS, types=())
+        assert "PACKET_SEND" in everything and "CWND_CHANGE" in everything
+
+    def test_limit_keeps_last_rows(self):
+        text = render_timeline(self.EVENTS, types=(), limit=1)
+        assert "COORD_ACTION" in text and "PACKET_SEND" not in text
+        assert "(1/3 events shown)" in text
+
+    def test_no_matches(self):
+        assert "no matching events" in render_timeline(
+            self.EVENTS, types=["QUEUE_DEPTH"])
+
+
+def test_render_report_end_to_end(tmp_path):
+    """Full chain: congested IQ run with resolution adaptation -> trace file
+    -> report with a timeline and an audit pairing every exchange."""
+    from repro.experiments.common import ScenarioConfig
+    from repro.middleware.adaptation import ResolutionAdaptation
+    from repro.runner import run_batch
+
+    path = tmp_path / "run.jsonl"
+    cfg = ScenarioConfig(
+        transport="iq", workload="greedy", n_frames=2000,
+        base_frame_size=700, cbr_bps=17.5e6, vbr_mean_bps=1e6,
+        metric_period=0.1,
+        adaptation=lambda: ResolutionAdaptation(upper=0.05, lower=0.005),
+        seed=2, time_cap=120.0)
+    run_batch({"iq-run": cfg}, cache=False, trace=str(path))
+    text = render_report(path)
+    assert "== run iq-run" in text
+    assert "Timeline" in text and "Coordination audit" in text
+    assert "exchanges acted on" in text
+    # Every recorded exchange must resolve to a transport action or be
+    # explicitly listed as consumed-without-action; none may dangle.
+    from repro.obs.sinks import read_trace
+    _, runs = read_trace(path)
+    audit = coordination_audit(runs[0]["events"])
+    assert audit["pairs"], "IQ run produced no attribute->action pairs"
+    assert audit["unmatched_actions"] == []
+
+    with pytest.raises(ValueError):
+        render_report(path, run="nope")
+
+
+def test_report_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "cli.jsonl"
+    rc = main(["scenario", "--transport", "iq", "--workload", "greedy",
+               "--frames", "2000", "--frame-size", "700", "--cbr", "17.5e6",
+               "--vbr", "1e6", "--adaptation", "resolution", "--seed", "2",
+               "--time-cap", "120", "--trace", str(path)])
+    assert rc == 0
+    assert path.exists()
+    rc = main(["report", str(path), "--limit", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Trace report" in out and "Coordination audit" in out
