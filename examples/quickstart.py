@@ -1,25 +1,26 @@
 #!/usr/bin/env python
-"""Quickstart: open an IQ-RUDP connection over the paper's dumbbell, send
-adaptive frames through the IQ-ECho event channel, and print the metrics.
+"""Quickstart: run an IQ-RUDP scenario through the stable public API and
+print the metrics the paper's tables report.
 
-This is the smallest end-to-end tour of the public API:
+This is the smallest end-to-end tour of :mod:`repro.api`:
 
-1. build the simulated network (20 Mb bottleneck, 30 ms RTT),
-2. open an IQ-RUDP connection with a resolution-adaptation strategy,
-3. push frames while a CBR "iperf" flow congests the bottleneck,
-4. read the receiver-side metrics the paper's tables report.
+1. describe the experiment as a :class:`~repro.api.Scenario` (validated at
+   construction -- misspell a field and you get a did-you-mean error),
+2. :func:`~repro.api.run` it (results come from the persistent cache when
+   the identical configuration has run before),
+3. read the receiver-side metrics from ``result.summary``,
+4. :func:`~repro.api.sweep` the same workload over plain RUDP for contrast.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.analysis.stats import flow_summary
+from repro.api import Scenario, run, sweep
 from repro.core.attributes import NET_CWND, NET_ERROR_RATIO
-from repro.experiments.common import ScenarioConfig, run_scenario
 from repro.middleware.adaptation import ResolutionAdaptation
 
 
 def main() -> None:
-    cfg = ScenarioConfig(
+    base = Scenario(
         transport="iq",              # the paper's protocol; try "rudp"/"tcp"
         workload="greedy",           # send as fast as IQ-RUDP allows
         n_frames=4000,
@@ -29,7 +30,7 @@ def main() -> None:
         vbr_mean_bps=1e6,            # MBone-driven VBR cross traffic
         seed=2,
     )
-    res = run_scenario(cfg)
+    res = run(base)
 
     print("=== IQ-RUDP quickstart ===")
     print(f"completed          : {res.completed}")
@@ -48,12 +49,15 @@ def main() -> None:
           f"{res.conn.query_metric(NET_ERROR_RATIO):.3f}")
     print(f"exported cwnd      : {res.conn.query_metric(NET_CWND):.1f} pkts")
 
-    # The same run without coordination, for contrast.
-    res_rudp = run_scenario(cfg.replace(transport="rudp"))
-    print("\n=== same workload over plain RUDP (no coordination) ===")
-    print(f"duration           : {res_rudp.summary['duration_s']:.2f} s")
-    print(f"throughput         : "
-          f"{res_rudp.summary['throughput_kBps']:.1f} KB/s")
+    # The same workload over the uncoordinated transports, as one sweep
+    # (TCP has no adaptation callbacks, so the strategy comes off).
+    others = sweep({"rudp": base.replace(transport="rudp"),
+                    "tcp": base.replace(transport="tcp", adaptation=None)})
+    for tp, other in others.items():
+        print(f"\n=== same workload over {tp} (no coordination) ===")
+        print(f"duration           : {other.summary['duration_s']:.2f} s")
+        print(f"throughput         : "
+              f"{other.summary['throughput_kBps']:.1f} KB/s")
 
 
 if __name__ == "__main__":

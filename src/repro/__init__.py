@@ -20,20 +20,22 @@ Layering (bottom-up):
 * :mod:`repro.runner` -- process-pool batch execution of independent
   scenarios with a persistent, code-version-salted results cache.
 
-Quickstart::
+Quickstart (the stable public surface is :mod:`repro.api`)::
 
-    from repro.experiments.common import ScenarioConfig, run_scenario
+    from repro.api import Scenario, run
     from repro.middleware.adaptation import ResolutionAdaptation
 
-    res = run_scenario(ScenarioConfig(
+    res = run(Scenario(
         transport="iq", workload="greedy", cbr_bps=16e6,
         adaptation=ResolutionAdaptation))
     print(res.summary)
 """
 
-from . import analysis, core, middleware, sim, traffic, transport
+from . import analysis, api, core, middleware, sim, traffic, transport
+from .api import Scenario, load_result, run, sweep
 
 __version__ = "1.0.0"
 
-__all__ = ["analysis", "core", "middleware", "sim", "traffic", "transport",
+__all__ = ["analysis", "api", "core", "middleware", "sim", "traffic",
+           "transport", "Scenario", "run", "sweep", "load_result",
            "__version__"]

@@ -47,9 +47,16 @@ def flow_summary(log: DeliveryLog, *, submitted_datagrams: int | None = None,
     owd_ms                mean one-way (submit-to-deliver) delay, ms
     pct_received          delivered datagrams / submitted datagrams * 100
     delivered_datagrams, delivered_bytes  raw counts
+    frames_completed      distinct frames with >= 1 delivered segment
+                          (see :meth:`DeliveryLog.frames_delivered`)
+    goodput_fps           frames_completed per second of flow duration --
+                          the delivered-frame goodput the dynamics sweeps
+                          compare transports on
     """
     duration = max(log.duration - start_time, 0.0)
-    msg_mean, msg_std = interarrival_stats(log.message_times())
+    frame_times = log.message_times()
+    frames_done = log.frames_delivered()
+    msg_mean, msg_std = interarrival_stats(frame_times)
     pkt_mean, pkt_std = interarrival_stats(log.times)
     tag_mean, tag_std = interarrival_stats(log.tagged_times())
     owd = log.one_way_delays()
@@ -66,6 +73,8 @@ def flow_summary(log: DeliveryLog, *, submitted_datagrams: int | None = None,
         "owd_ms": float(owd.mean()) * 1e3 if owd.size else 0.0,
         "delivered_datagrams": float(len(log)),
         "delivered_bytes": float(log.total_bytes),
+        "frames_completed": float(frames_done),
+        "goodput_fps": frames_done / duration if duration > 0 else 0.0,
     }
     if submitted_datagrams:
         summary["pct_received"] = 100.0 * len(log) / submitted_datagrams

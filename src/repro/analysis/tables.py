@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["render_table", "render_comparison", "fmt"]
+__all__ = ["render_table", "render_comparison", "render_grouped", "fmt"]
 
 
 def fmt(value: Any, digits: int = 3) -> str:
@@ -45,6 +45,18 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
     out.append(line(["-" * w for w in widths]))
     out.extend(line(row) for row in str_rows)
     return "\n".join(out)
+
+
+def render_grouped(title: str, headers: Sequence[str],
+                   groups: "dict[str, Sequence[Sequence[Any]]]",
+                   group_header: str = "scenario") -> str:
+    """One table with a labelled block per group (the dynamics sweeps'
+    layout): the group name appears on its block's first row only."""
+    rows: list[list[Any]] = []
+    for name, group_rows in groups.items():
+        for i, row in enumerate(group_rows):
+            rows.append([name if i == 0 else "", *row])
+    return render_table((group_header, *headers), rows, title=title)
 
 
 def render_comparison(title: str, headers: Sequence[str],

@@ -1,0 +1,133 @@
+"""Stable public API facade.
+
+Everything a library user needs for "configure a scenario, run it, look at
+the result" lives here, decoupled from the internal module layout (which
+this package is free to keep refactoring):
+
+    from repro.api import Scenario, run, sweep, load_result
+
+    res = run(Scenario(transport="iq", workload="greedy", cbr_bps=16e6))
+    print(res.summary["duration_s"])
+
+:class:`Scenario` is a keyword-only, validated wrapper over the internal
+:class:`~repro.experiments.common.ScenarioConfig`; unknown fields fail at
+construction with a close-match suggestion instead of silently configuring
+nothing.  :func:`run` and :func:`sweep` go through the batch runner, so
+they share its persistent results cache, process-pool fan-out and JSONL
+tracing.  :func:`load_result` reads a pickled result back (the cache's
+``.pkl`` format, or anything ``pickle.dump``-ed from a ``ScenarioResult``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Mapping
+
+from .experiments.common import ScenarioConfig, ScenarioResult
+from .faults import FaultSchedule  # noqa: F401  (re-export: schedules are config)
+
+__all__ = ["Scenario", "ScenarioResult", "FaultSchedule",
+           "run", "sweep", "load_result"]
+
+
+class Scenario:
+    """Validated, immutable-by-convention scenario description.
+
+    All parameters are keyword-only and map one-to-one onto
+    :class:`~repro.experiments.common.ScenarioConfig` fields (``transport``,
+    ``workload``, ``adaptation``, ``cbr_bps``, ``faults``, ``seed``, ...).
+    Validation -- unknown-field rejection with a did-you-mean hint, value
+    checks -- happens at construction, so a `Scenario` that exists can run.
+    """
+
+    __slots__ = ("config",)
+
+    def __init__(self, **fields: Any) -> None:
+        # Route through replace() on a default config: it owns the
+        # unknown-key diagnostics and ScenarioConfig.__init__ the value
+        # validation, so the facade adds no second validation dialect.
+        object.__setattr__(self, "config", ScenarioConfig().replace(**fields))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(
+            "Scenario is immutable; use scenario.replace(...) to derive a "
+            "modified copy")
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return getattr(object.__getattribute__(self, "config"), name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!s} has no field {name!r}") from None
+
+    def replace(self, **fields: Any) -> "Scenario":
+        """Copy with overrides; unknown fields are rejected with a hint."""
+        out = object.__new__(Scenario)
+        object.__setattr__(out, "config", self.config.replace(**fields))
+        return out
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        defaults = ScenarioConfig().__dict__
+        diff = {k: v for k, v in cfg.__dict__.items()
+                if defaults.get(k) != v}
+        inner = ", ".join(f"{k}={v!r}" for k, v in diff.items())
+        return f"Scenario({inner})"
+
+
+def _as_config(scenario: Scenario | ScenarioConfig) -> ScenarioConfig:
+    if isinstance(scenario, Scenario):
+        return scenario.config
+    if isinstance(scenario, ScenarioConfig):
+        return scenario
+    raise TypeError(f"expected a Scenario (or ScenarioConfig), "
+                    f"got {type(scenario).__name__}")
+
+
+def run(scenario: Scenario | ScenarioConfig, *,
+        cache=None, trace: str | None = None) -> ScenarioResult:
+    """Execute one scenario and return its :class:`ScenarioResult`.
+
+    Goes through the batch runner: results are served from the persistent
+    cache when the identical configuration has run before (disable with
+    ``cache=False`` or ``REPRO_NO_CACHE=1``), and ``trace`` names a
+    JSONL(.gz) file to record the run's full event stream into.
+    """
+    from .runner import run_one
+    return run_one(_as_config(scenario), cache=cache, trace=trace)
+
+
+def sweep(scenarios: Mapping[Any, Scenario | ScenarioConfig], *,
+          jobs: int = 1, cache=None,
+          trace: str | None = None) -> "dict[Any, ScenarioResult]":
+    """Run a labelled batch of scenarios, optionally across ``jobs``
+    worker processes; returns ``{label: ScenarioResult}`` in input order.
+
+    Results are deterministic for any ``jobs`` value: every scenario
+    derives all randomness from its own ``seed``.  A common shape::
+
+        results = sweep({tp: base.replace(transport=tp)
+                         for tp in ("iq", "rudp", "tcp")}, jobs=4)
+    """
+    from .runner import run_batch
+    configs = {label: _as_config(sc) for label, sc in scenarios.items()}
+    return run_batch(configs, jobs=jobs, cache=cache, trace=trace)
+
+
+def load_result(path: str | os.PathLike) -> ScenarioResult:
+    """Load a pickled :class:`ScenarioResult` (e.g. a results-cache
+    ``.pkl`` entry) and type-check it.
+
+    Raises ``FileNotFoundError`` for a missing file and ``TypeError`` when
+    the pickle holds something other than a scenario result -- loading an
+    arbitrary experiment artifact through this accessor is a bug, not a
+    result.
+    """
+    with open(path, "rb") as fh:
+        value = pickle.load(fh)
+    if not isinstance(value, ScenarioResult):
+        raise TypeError(
+            f"{os.fspath(path)!r} holds {type(value).__name__}, not a "
+            f"ScenarioResult; was it written by the results cache?")
+    return value

@@ -7,29 +7,60 @@ Examples
     python -m repro table1                 # regenerate a paper table
     python -m repro table6 --seed 3        # different seed
     python -m repro table6 --jobs 4        # fan rows across 4 processes
+    python -m repro table3 --set cbr_bps=16e6   # override any config field
+    python -m repro dynamics --jobs 4      # network-dynamics sweeps
     python -m repro list                   # what's available
     python -m repro scenario --transport iq --workload greedy \
         --cbr 16e6 --frames 4000 --adaptation resolution
 
 The experiment subcommands print the same paper-vs-measured blocks the
-benches write; ``scenario`` runs a one-off configuration and prints the
-standard metric bundle.
+benches write; ``scenario`` runs a one-off configuration (through the
+:mod:`repro.api` facade) and prints the standard metric bundle.  Every
+experiment command accepts repeated ``--set key=value`` overrides that
+patch the underlying ``ScenarioConfig`` (values parse as Python literals;
+unknown keys fail with a close-match suggestion).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 from typing import Callable
 
 from .analysis.tables import render_comparison, render_table
-from .experiments import baseline, conflict, granularity, overreaction
-from .experiments.common import TRANSPORTS, ScenarioConfig, run_scenario
+from .experiments import baseline, conflict, dynamics, granularity, overreaction
+from .experiments.common import TRANSPORTS
 from .middleware.adaptation import (DelayedResolutionAdaptation,
                                     FrequencyAdaptation, MarkingAdaptation,
                                     ResolutionAdaptation)
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "parse_overrides"]
+
+
+def parse_overrides(pairs: "list[str] | None") -> "dict | None":
+    """Parse repeated ``--set KEY=VALUE`` options into config overrides.
+
+    Values are parsed as Python literals (``16e6``, ``0.25``, ``None``,
+    ``(2.0, 1e6, 5.0)``); anything that does not parse stays a string, so
+    ``--set workload=greedy`` works unquoted.  Key validity is *not*
+    checked here -- ``ScenarioConfig.replace`` rejects unknown fields with
+    a did-you-mean hint at application time.
+    """
+    if not pairs:
+        return None
+    out: dict = {}
+    for item in pairs:
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --set expects KEY=VALUE, got {item!r}")
+        try:
+            out[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            out[key] = raw
+    return out
 
 _ADAPTATIONS: dict[str, Callable] = {
     "none": lambda: None,
@@ -47,7 +78,9 @@ def _table(headers, paper, measured, title) -> str:
 
 
 def _run_table1(args) -> str:
-    res = baseline.run_table1(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = baseline.run_table1(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     measured = [(k, *(round(x, 3) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -55,7 +88,9 @@ def _run_table1(args) -> str:
 
 
 def _run_table2(args) -> str:
-    res = baseline.run_table2(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = baseline.run_table2(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     measured = [(k, *(round(x, 4) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -63,7 +98,9 @@ def _run_table2(args) -> str:
 
 
 def _run_table3(args) -> str:
-    res = conflict.run_table3(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = conflict.run_table3(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -71,7 +108,9 @@ def _run_table3(args) -> str:
 
 
 def _run_table4(args) -> str:
-    res = conflict.run_table4(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = conflict.run_table4(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -79,7 +118,9 @@ def _run_table4(args) -> str:
 
 
 def _run_table5(args) -> str:
-    res = overreaction.run_table5(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = overreaction.run_table5(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     measured = [(k, *(round(x, 2)
                       for x in overreaction.overreaction_metrics(r)))
                 for k, r in res.items()]
@@ -88,7 +129,9 @@ def _run_table5(args) -> str:
 
 
 def _run_table6(args) -> str:
-    res = overreaction.run_table6(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = overreaction.run_table6(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     rows = []
     paper_rows = []
     for rate, by_name in res.items():
@@ -103,7 +146,9 @@ def _run_table6(args) -> str:
 
 
 def _run_table7(args) -> str:
-    res = granularity.run_table7(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = granularity.run_table7(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -112,7 +157,9 @@ def _run_table7(args) -> str:
 
 
 def _run_table8(args) -> str:
-    res = granularity.run_table8(seed=args.seed, jobs=args.jobs, trace=args.trace)
+    res = granularity.run_table8(
+        seed=args.seed, jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set))
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -127,9 +174,18 @@ EXPERIMENTS: dict[str, Callable] = {
 }
 
 
+def _run_dynamics(args) -> str:
+    schedules = tuple(args.schedules.split(",")) if args.schedules else None
+    res = dynamics.run_dynamics(
+        schedules=schedules, seed=args.seed, jobs=args.jobs,
+        trace=args.trace, overrides=parse_overrides(args.set))
+    return dynamics.render_dynamics(res)
+
+
 def _run_scenario_cmd(args) -> str:
+    from .api import Scenario, run
     adaptation = _ADAPTATIONS[args.adaptation]
-    cfg = ScenarioConfig(
+    scenario = Scenario(
         transport=args.transport, workload=args.workload,
         n_frames=args.frames, base_frame_size=args.frame_size,
         frame_rate=args.frame_rate,
@@ -137,13 +193,13 @@ def _run_scenario_cmd(args) -> str:
         cbr_bps=args.cbr, vbr_mean_bps=args.vbr,
         loss_tolerance=args.tolerance, rtt_s=args.rtt, seed=args.seed,
         time_cap=args.time_cap)
-    if args.trace:
-        # Traced one-off runs always execute fresh (cache=False) so the
-        # trace file actually contains the run's event stream.
-        from .runner import run_batch
-        res = run_batch([cfg], jobs=1, cache=False, trace=args.trace)[0]
-    else:
-        res = run_scenario(cfg)
+    overrides = parse_overrides(args.set)
+    if overrides:
+        scenario = scenario.replace(**overrides)
+    # Traced one-off runs always execute fresh (cache=False) so the trace
+    # file actually contains the run's event stream.
+    res = run(scenario, cache=False if args.trace else None,
+              trace=args.trace)
     rows = [(k, round(v, 4)) for k, v in sorted(res.summary.items())]
     return render_table(("metric", "value"), rows,
                         title=f"scenario: {args.transport}/{args.workload}")
@@ -164,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="IQ-RUDP (HPDC 2002) reproduction harness")
     sub = p.add_subparsers(dest="command", required=True)
 
+    def add_set_option(sp):
+        sp.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        default=None,
+                        help="override any ScenarioConfig field for every "
+                             "run (repeatable; values parse as Python "
+                             "literals, e.g. --set cbr_bps=16e6)")
+
     for name in EXPERIMENTS:
         sp = sub.add_parser(name, help=f"regenerate the paper's {name}")
         sp.add_argument("--seed", type=int,
@@ -175,6 +238,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the batch's trace events to PATH "
                              "(.jsonl or .jsonl.gz); view with "
                              "'repro report PATH'")
+        add_set_option(sp)
+
+    dy = sub.add_parser(
+        "dynamics",
+        help="network-dynamics sweeps: coordinated vs uncoordinated under "
+             "link flaps, handovers, bursty loss and capacity ramps")
+    dy.add_argument("--schedules", metavar="NAMES", default=None,
+                    help="comma-separated scenario subset (default: "
+                         f"{','.join(dynamics.SCENARIOS)})")
+    dy.add_argument("--seed", type=int, default=1)
+    dy.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (results identical for any N)")
+    dy.add_argument("--trace", metavar="PATH", default=None,
+                    help="write the sweep's trace events to PATH; fault "
+                         "phases show up in 'repro report PATH'")
+    add_set_option(dy)
 
     sub.add_parser("list", help="list experiments")
 
@@ -197,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--trace", metavar="PATH", default=None,
                     help="write this run's trace events to PATH (forces a "
                          "fresh, uncached run)")
+    add_set_option(sc)
 
     rp = sub.add_parser("report",
                         help="render timeline + coordination audit for a "
@@ -217,7 +297,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             print("experiments:", ", ".join(EXPERIMENTS))
+            print("dynamics scenarios:", ", ".join(dynamics.SCENARIOS))
             print("plus: scenario (custom runs; see --help)")
+        elif args.command == "dynamics":
+            print(_run_dynamics(args))
         elif args.command == "scenario":
             print(_run_scenario_cmd(args))
         elif args.command == "report":
@@ -228,6 +311,11 @@ def main(argv: list[str] | None = None) -> int:
         # Reports are long; ``repro report ... | head`` is normal usage.
         import os
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except ValueError as exc:
+        # Config mistakes (bad --set keys/values, unknown schedule names)
+        # are user errors: report them without a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -66,6 +66,14 @@ class Coordinator:
     def on_send_attrs(self, attrs: AttributeSet) -> None:
         """Attributes piggybacked on a data submit (``cmwritev_attr``)."""
 
+    def on_stall(self, now: float) -> None:
+        """The sender's stall detector declared the path dead (see
+        ``stall_threshold`` in :class:`~repro.transport.base
+        .WindowedSender`).  Default: no reaction."""
+
+    def on_resume(self, now: float) -> None:
+        """Forward progress resumed after a stall.  Default: no reaction."""
+
 
 class NullCoordinator(Coordinator):
     """Plain RUDP: application adaptations are invisible to the transport.
@@ -100,6 +108,9 @@ class IQCoordinator(Coordinator):
         self.pending_adaptations = 0
         self.cond_corrections = 0
         self.freq_adaptations = 0
+        self.stalls = 0
+        self.stall_recoveries = 0
+        self._discard_before_stall: bool | None = None
 
     # ------------------------------------------------------------------
     def on_callback_result(self, attrs: AttributeSet) -> None:
@@ -107,6 +118,42 @@ class IQCoordinator(Coordinator):
 
     def on_send_attrs(self, attrs: AttributeSet) -> None:
         self._apply(attrs)
+
+    # ------------------------------------------------------------------
+    # Stall-driven graceful degradation (network-dynamics hardening).
+    # While the path is believed dead the sender sheds unmarked backlog --
+    # there is no point queueing droppable data behind an outage -- so the
+    # data the application cares about goes first the moment the link
+    # returns.  The pre-stall discard policy is restored on resume; these
+    # actions carry no ``attr_seq`` because no application attribute
+    # exchange caused them (the report shows them as transport-initiated).
+    # ------------------------------------------------------------------
+    def on_stall(self, now: float) -> None:
+        snd = self.sender
+        if snd is None or not self.enable_discard:
+            return
+        self.stalls += 1
+        if self._discard_before_stall is None:
+            self._discard_before_stall = snd.discard_unmarked
+        snd.discard_unmarked = True
+        tr = getattr(snd, "trace", None)
+        if tr is not None and tr.enabled:
+            tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                    action="stall_degrade",
+                    restored_policy=self._discard_before_stall)
+
+    def on_resume(self, now: float) -> None:
+        snd = self.sender
+        if snd is None or self._discard_before_stall is None:
+            return
+        self.stall_recoveries += 1
+        snd.discard_unmarked = self._discard_before_stall
+        self._discard_before_stall = None
+        tr = getattr(snd, "trace", None)
+        if tr is not None and tr.enabled:
+            tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                    action="stall_recover",
+                    discard_unmarked=snd.discard_unmarked)
 
     # ------------------------------------------------------------------
     def _apply(self, attrs: AttributeSet) -> None:

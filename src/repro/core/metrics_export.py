@@ -26,13 +26,20 @@ __all__ = ["MetricsWindow", "PeriodMetrics"]
 
 
 class PeriodMetrics:
-    """Immutable snapshot of one measurement period."""
+    """Immutable snapshot of one measurement period.
+
+    ``blackout`` marks a period measured while the sender believed the
+    path was dead (stall detection, see
+    :class:`~repro.transport.base.WindowedSender`): its loss ratio
+    describes an outage, not congestion, and must not drive adaptation.
+    """
 
     __slots__ = ("time", "sent", "lost", "acked_bytes", "error_ratio",
-                 "rate_bps", "rtt", "cwnd")
+                 "rate_bps", "rtt", "cwnd", "blackout")
 
     def __init__(self, time: float, sent: int, lost: int, acked_bytes: int,
-                 period: float, rtt: float, cwnd: float):
+                 period: float, rtt: float, cwnd: float,
+                 blackout: bool = False):
         self.time = time
         self.sent = sent
         self.lost = lost
@@ -41,12 +48,13 @@ class PeriodMetrics:
         self.rate_bps = acked_bytes * 8.0 / period if period > 0 else 0.0
         self.rtt = rtt
         self.cwnd = cwnd
+        self.blackout = blackout
 
     def as_dict(self) -> dict:
         return {
             "time": self.time, "sent": self.sent, "lost": self.lost,
             "error_ratio": self.error_ratio, "rate_bps": self.rate_bps,
-            "rtt": self.rtt, "cwnd": self.cwnd,
+            "rtt": self.rtt, "cwnd": self.cwnd, "blackout": self.blackout,
         }
 
 
@@ -69,6 +77,12 @@ class MetricsWindow:
         self.history: list[PeriodMetrics] = []
         self.total_sent = 0
         self.total_lost = 0
+        #: Error ratio of the most recent *non-blackout* period -- the
+        #: coordination engine's ``eratio_new`` (Eq. 1).  An outage period
+        #: would report ~100% loss and make ADAPT_COND's drift correction
+        #: collapse the window off a dead link, so blackout periods never
+        #: update this.
+        self.last_clean_error_ratio = 0.0
         # The owning sender rebinds these when its simulator is traced.
         self.trace = NULL_BUS
         self.flow = -1
@@ -89,11 +103,14 @@ class MetricsWindow:
         self._acked_bytes += n
 
     # -- period boundary ----------------------------------------------------
-    def roll(self, now: float, rtt: float, cwnd: float) -> PeriodMetrics:
+    def roll(self, now: float, rtt: float, cwnd: float,
+             blackout: bool = False) -> PeriodMetrics:
         """Close the current period, publish, and reset counters."""
         pm = PeriodMetrics(now, self._sent, self._lost, self._acked_bytes,
-                           self.period, rtt, cwnd)
+                           self.period, rtt, cwnd, blackout)
         self.history.append(pm)
+        if not blackout:
+            self.last_clean_error_ratio = pm.error_ratio
         self._sent = 0
         self._lost = 0
         self._acked_bytes = 0
@@ -104,9 +121,10 @@ class MetricsWindow:
             self.service.update(NET_CWND, pm.cwnd)
         tr = self.trace
         if tr.enabled:
+            extra = {"blackout": True} if blackout else {}
             tr.emit("transport", PERIOD_ROLL, flow=self.flow, sent=pm.sent,
                     lost=pm.lost, error_ratio=pm.error_ratio,
-                    rate_bps=pm.rate_bps, rtt=pm.rtt, cwnd=pm.cwnd)
+                    rate_bps=pm.rate_bps, rtt=pm.rtt, cwnd=pm.cwnd, **extra)
         return pm
 
     @property

@@ -58,11 +58,17 @@ def _table1_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 
 def run_table1(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[str, ScenarioResult]:
-    """Run all four Table 1 rows; returns row-name -> ScenarioResult."""
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None) -> dict[str, ScenarioResult]:
+    """Run all four Table 1 rows; returns row-name -> ScenarioResult.
+
+    ``overrides`` are ``ScenarioConfig.replace`` overrides applied to every
+    row (the CLI's ``--set key=value`` path); same for every ``run_table*``.
+    """
     from ..runner import run_batch
     base = _table1_config(n_frames, seed)
+    if overrides:
+        base = base.replace(**overrides)
     rows = {
         "TCP(1)": base.replace(transport="tcp"),
         "IQ-RUDP(2)": base.replace(transport="iq"),
@@ -76,13 +82,15 @@ def run_table1(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
 
 
 def run_table2(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[str, ScenarioResult]:
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None) -> dict[str, ScenarioResult]:
     """Fairness: the greedy application against a TCP bulk competitor."""
     from ..runner import run_batch
     base = ScenarioConfig(
         workload="greedy", n_frames=n_frames, base_frame_size=1400,
         tcp_cross_bytes=500_000_000, seed=seed, time_cap=300.0)
+    if overrides:
+        base = base.replace(**overrides)
     rows = {
         "TCP": base.replace(transport="tcp"),
         "IQ-RUDP": base.replace(transport="iq"),

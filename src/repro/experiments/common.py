@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..analysis.stats import flow_summary
+from ..faults import FaultInjector, FaultSchedule
 from ..middleware.adaptation import AdaptationStrategy, NullAdaptation
 from ..obs.bus import TraceBus
 from ..obs.metrics import MetricsRegistry, collect_scenario_metrics
@@ -82,11 +83,15 @@ class ScenarioConfig:
                  tcp_cross_bytes: int | None = None,
                  seed: int = 1,
                  time_cap: float = 600.0,
-                 fixed_window: float = 64.0):
+                 fixed_window: float = 64.0,
+                 faults: FaultSchedule | None = None):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
         if workload not in ("trace_clocked", "greedy", "fixed_clocked"):
             raise ValueError(f"unknown workload {workload!r}")
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            raise TypeError(f"faults must be a FaultSchedule or None, "
+                            f"got {type(faults).__name__}")
         self.transport = transport
         self.workload = workload
         self.adaptation = adaptation
@@ -111,9 +116,26 @@ class ScenarioConfig:
         self.seed = seed
         self.time_cap = time_cap
         self.fixed_window = fixed_window
+        self.faults = faults
 
     def replace(self, **kw: Any) -> "ScenarioConfig":
-        """Copy with overrides (sweep helper)."""
+        """Copy with overrides (sweep helper).
+
+        Unknown keys are rejected with a close-match suggestion -- a typo
+        in a sweep override must fail loudly, not silently configure
+        nothing.
+        """
+        unknown = sorted(set(kw) - set(self.__dict__))
+        if unknown:
+            import difflib
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, self.__dict__, n=1)
+                hints.append(f"{name!r}" + (f" (did you mean {close[0]!r}?)"
+                                            if close else ""))
+            raise ValueError(
+                f"unknown ScenarioConfig field(s): {', '.join(hints)}; "
+                f"valid fields: {', '.join(sorted(self.__dict__))}")
         fields = {k: v for k, v in self.__dict__.items()}
         fields.update(kw)
         return ScenarioConfig(**fields)
@@ -126,7 +148,8 @@ class ScenarioResult:
                  conn, source: AdaptiveSource | None,
                  strategy: AdaptationStrategy,
                  net: Dumbbell, sim: Simulator, completed: bool,
-                 tcp_cross=None, registry: MetricsRegistry | None = None):
+                 tcp_cross=None, registry: MetricsRegistry | None = None,
+                 injector=None):
         self.summary = summary
         self.log = log
         self.conn = conn
@@ -137,6 +160,7 @@ class ScenarioResult:
         self.completed = completed
         self.tcp_cross = tcp_cross
         self.registry = registry
+        self.injector = injector
         # Populated by the traced batch path: the run's TraceEvent list.
         self.trace = None
 
@@ -160,15 +184,23 @@ class ScenarioResult:
 def make_transport(name: str, sim: Simulator, snd_host, rcv_host, *,
                    mss: int, metric_period: float,
                    loss_tolerance: float | None,
-                   on_deliver, fixed_window: float = 64.0):
-    """Instantiate a transport-under-test by registry name."""
+                   on_deliver, fixed_window: float = 64.0,
+                   hardening: dict[str, Any] | None = None):
+    """Instantiate a transport-under-test by registry name.
+
+    ``hardening`` (rto_jitter/rto_rng/stall_threshold kwargs) is passed
+    through to every transport; ``run_scenario`` supplies it only when the
+    scenario carries a :class:`~repro.faults.FaultSchedule`, so fault-free
+    runs are bit-identical to the pre-dynamics code path.
+    """
+    hard = hardening or {}
     if name == "tcp":
         return TcpConnection(sim, snd_host, rcv_host, mss=mss,
                              metric_period=metric_period,
-                             on_deliver=on_deliver)
+                             on_deliver=on_deliver, **hard)
     kw: dict[str, Any] = dict(mss=mss, metric_period=metric_period,
                               loss_tolerance=loss_tolerance,
-                              on_deliver=on_deliver)
+                              on_deliver=on_deliver, **hard)
     if name == "rudp":
         return RudpConnection(sim, snd_host, rcv_host, **kw)
     if name == "rudp_nocc":
@@ -208,6 +240,20 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
     net = Dumbbell(sim, bottleneck_bps=cfg.bottleneck_bps, rtt_s=cfg.rtt_s,
                    mss=cfg.mss, queue_pkts=cfg.queue_pkts)
 
+    # -- network dynamics ---------------------------------------------------
+    injector = None
+    hardening = None
+    if cfg.faults is not None:
+        injector = FaultInjector(sim, net, cfg.faults,
+                                 streams.get("faults"))
+        injector.install()
+        # Transport hardening rides with the schedule: decorrelated
+        # retransmission timers and endpoint stall detection (see
+        # WindowedSender) are only active when the network actually moves,
+        # so every paper-table scenario stays bit-identical.
+        hardening = dict(rto_jitter=0.1, rto_rng=streams.get("rto"),
+                         stall_threshold=3)
+
     # -- flow under test ----------------------------------------------------
     snd_host, rcv_host = net.add_flow_hosts("app")
     log = DeliveryLog()
@@ -215,7 +261,8 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
                           mss=cfg.mss, metric_period=cfg.metric_period,
                           loss_tolerance=cfg.loss_tolerance,
                           on_deliver=log.on_deliver,
-                          fixed_window=cfg.fixed_window)
+                          fixed_window=cfg.fixed_window,
+                          hardening=hardening)
 
     strategy = cfg.adaptation() if cfg.adaptation else NullAdaptation()
     if not isinstance(strategy, NullAdaptation) and cfg.transport == "tcp":
@@ -309,10 +356,12 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
         log, submitted_datagrams=conn.sender.stats.submitted_segments)
     summary["completed"] = float(conn.completed)
     summary["error_ratio_lifetime"] = conn.sender.metrics.lifetime_error_ratio
+    summary["stalls"] = float(conn.sender.stats.stalls)
+    summary["stall_recoveries"] = float(conn.sender.stats.stall_recoveries)
     registry = collect_scenario_metrics(MetricsRegistry(), conn=conn, net=net,
                                         strategy=strategy)
     summary.update(registry.summary(prefix="obs_"))
     return ScenarioResult(summary=summary, log=log, conn=conn, source=source,
                           strategy=strategy, net=net, sim=sim,
                           completed=conn.completed, tcp_cross=tcp_cross,
-                          registry=registry)
+                          registry=registry, injector=injector)

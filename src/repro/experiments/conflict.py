@@ -78,11 +78,13 @@ def _changing_net_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 
 def run_table3(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[str, ScenarioResult]:
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None) -> dict[str, ScenarioResult]:
     """Conflict, changing application: IQ-RUDP vs RUDP."""
     from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
+    if overrides:
+        base = base.replace(**overrides)
     return run_batch({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
@@ -90,11 +92,13 @@ def run_table3(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
 
 
 def run_table4(*, n_frames: int = 6000, seed: int = 1, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[str, ScenarioResult]:
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None) -> dict[str, ScenarioResult]:
     """Conflict, changing network: IQ-RUDP vs RUDP."""
     from ..runner import run_batch
     base = _changing_net_config(n_frames, seed)
+    if overrides:
+        base = base.replace(**overrides)
     return run_batch({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),

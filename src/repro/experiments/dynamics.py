@@ -1,0 +1,183 @@
+"""Dynamics sweeps: coordination under mid-flow network changes.
+
+The paper's Emulab testbed only changes conditions at experiment boundaries.
+These sweeps put the same coordinated-vs-uncoordinated question under
+conditions that change *while the flow runs* -- link flaps, handovers
+(blackout + capacity/delay cliff), bursty wire loss, capacity ramps -- the
+regime FlEC and the heterogeneous-handover literature evaluate (PAPERS.md).
+
+Every scenario runs the changing-application conflict workload (marking
+adaptation, 40% receiver loss tolerance) in the Table 3 overload regime, so
+the marking adaptation is live when the dynamics hit, and compares
+**delivered-frame goodput** (``goodput_fps``: distinct frames that reached
+the receiver, per second).  That metric is deliberate: under per-datagram
+marking a frame whose droppable segments were shed still arrives in usable,
+degraded form, so counting raw datagrams would score the conflict scheme's
+intended discards as lost goodput.
+
+Why coordination wins here: the uncoordinated transport queues unmarked
+(droppable) data behind every outage and spends the recovery shoving stale
+backlog through; IQ-RUDP discards unmarked datagrams at the sender
+(conflict scheme), degrades further while its stall detector believes the
+path is dead, and its blackout-aware loss estimation keeps ADAPT_COND
+corrections from acting on outage loss ratios.
+
+Calibration notes (empirical, same spirit as the Table 3 notes in
+:mod:`repro.experiments.conflict`):
+
+* Fault windows start at t >= 3 s -- after the congestion-driven marking
+  adaptation has engaged (first upper callback fires ~3.5 s into the
+  Table 3 regime) -- so the schedules stress a *live* adaptation loop.
+* Per-scenario cross-traffic overrides keep each scenario out of the
+  starvation regime (cross traffic above the post-fault capacity would
+  starve the flow below MIN_PERIOD_SAMPLES and freeze the callback loop,
+  turning the comparison into a degenerate tie).
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import improvement
+from ..analysis.tables import render_grouped
+from ..faults import (BandwidthRamp, Blackout, BurstyLoss, DelayRamp,
+                      FaultSchedule, Jitter, LinkFlap)
+from ..middleware.adaptation import MarkingAdaptation
+from .common import ScenarioConfig, ScenarioResult
+
+__all__ = ["SCENARIOS", "SCHEDULES", "run_dynamics", "dynamics_metrics",
+           "render_dynamics", "DYNAMICS_TRANSPORTS"]
+
+#: Transports each scenario is swept over (coordinated first).
+DYNAMICS_TRANSPORTS = ("iq", "rudp")
+
+#: The named network-dynamics scenarios: fault schedule plus the
+#: per-scenario config overrides that calibrate its congestion regime.
+#: Times are absolute simulation seconds; the workload offers 10 s of
+#: frames and drains its backlog for the rest of the run, so every
+#: schedule overlaps the active transfer.
+SCENARIOS: dict[str, dict] = {
+    # Flaky last mile: 0.7 s outages every 2 s across emission and drain.
+    # Long enough for the stall detector (3 consecutive RTOs) to declare
+    # the path dead and trigger the coordinator's graceful degradation.
+    "flap": {
+        "faults": FaultSchedule(
+            LinkFlap(start=5.0, stop=16.0, down_s=0.7, up_s=1.3,
+                     direction="both")),
+        "overrides": {},
+    },
+    # Handover: 0.8 s blackout, then the new path has less capacity and a
+    # longer RTT (cliff at the blackout's end).  Lighter cross traffic:
+    # the congestion that drives the adaptation comes from the handover
+    # itself, and the post-handover leftover must stay above the offered
+    # rate or both transports starve identically.
+    "handover": {
+        "faults": FaultSchedule(
+            Blackout(start=6.0, stop=6.8, direction="both"),
+            BandwidthRamp(start=6.8, stop=7.0, to_bps=16e6, steps=1,
+                          direction="fwd"),
+            DelayRamp(start=6.8, stop=7.0, to_s=0.025, steps=1,
+                      direction="both")),
+        "overrides": {"cbr_bps": 12e6},
+    },
+    # Bursty wire loss (Gilbert-Elliott, ~3.8% stationary) with mild
+    # reordering jitter, on a moderately loaded path.
+    "burst": {
+        "faults": FaultSchedule(
+            BurstyLoss(start=3.0, stop=20.0, p_gb=0.01, p_bg=0.25),
+            Jitter(start=3.0, stop=20.0, max_extra_s=0.008, p=0.2)),
+        "overrides": {"cbr_bps": 12e6},
+    },
+    # Capacity cliff down and back: ramp to 65% of the bottleneck over
+    # 6 s, hold, then snap back.
+    "cliff": {
+        "faults": FaultSchedule(
+            BandwidthRamp(start=4.0, stop=10.0, to_bps=13e6, steps=12,
+                          direction="fwd"),
+            BandwidthRamp(start=16.0, stop=17.0, to_bps=20e6, steps=2,
+                          direction="fwd")),
+        "overrides": {"cbr_bps": 12e6},
+    },
+}
+
+#: Backwards-convenient view: scenario name -> its fault schedule.
+SCHEDULES: dict[str, FaultSchedule] = {
+    name: spec["faults"] for name, spec in SCENARIOS.items()}
+
+
+def _dynamics_strategy() -> MarkingAdaptation:
+    """Conflict-style marking adaptation, thresholds as in Table 3 (see
+    the calibration notes in :mod:`repro.experiments.conflict`)."""
+    return MarkingAdaptation(upper=0.05, lower=0.01, backoff=0.10)
+
+
+def _dynamics_config(n_frames: int, seed: int) -> ScenarioConfig:
+    """Table 3's changing-application regime: 25 fps trace frames against
+    CBR cross traffic that leaves less than the offered rate, so the
+    marking adaptation is active when the faults arrive."""
+    return ScenarioConfig(
+        workload="trace_clocked", n_frames=n_frames, frame_rate=25,
+        frame_multiplier=3000, adaptation=_dynamics_strategy,
+        loss_tolerance=0.40, cbr_bps=18.5e6, metric_period=0.25,
+        seed=seed, time_cap=900.0)
+
+
+def run_dynamics(*, schedules: tuple[str, ...] | None = None,
+                 transports: tuple[str, ...] = DYNAMICS_TRANSPORTS,
+                 n_frames: int = 250, seed: int = 1, jobs: int = 1,
+                 cache=None, trace: str | None = None,
+                 overrides: dict | None = None
+                 ) -> dict[str, dict[str, ScenarioResult]]:
+    """Run every (scenario, transport) cell; returns
+    ``{scenario: {transport: ScenarioResult}}``.
+
+    ``overrides`` are ``ScenarioConfig.replace`` keyword overrides applied
+    to every cell (the CLI's ``--set key=value`` path); they take
+    precedence over the per-scenario calibration overrides.
+    """
+    from ..runner import run_batch
+    names = tuple(schedules) if schedules else tuple(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            raise ValueError(f"unknown dynamics scenario {name!r}; "
+                             f"available: {', '.join(SCENARIOS)}")
+    base = _dynamics_config(n_frames, seed)
+    rows = {}
+    for name in names:
+        spec = SCENARIOS[name]
+        cell = base.replace(faults=spec["faults"], **spec["overrides"])
+        if overrides:
+            cell = cell.replace(**overrides)
+        for tp in transports:
+            rows[f"{name}/{tp}"] = cell.replace(transport=tp)
+    flat = run_batch(rows, jobs=jobs, cache=cache, trace=trace)
+    return {name: {tp: flat[f"{name}/{tp}"] for tp in transports}
+            for name in names}
+
+
+def dynamics_metrics(res: ScenarioResult) -> tuple[float, ...]:
+    """(goodput fps, received %, duration s, tagged delay ms, stalls)."""
+    s = res.summary
+    return (s["goodput_fps"], s["pct_received"], s["duration_s"],
+            s["tagged_delay_ms"], s["stalls"])
+
+
+def render_dynamics(results: dict[str, dict[str, ScenarioResult]]) -> str:
+    """Grouped comparison table with a goodput-improvement line per
+    scenario (coordinated = first transport vs each baseline)."""
+    groups: dict[str, list[tuple]] = {}
+    for sched, by_tp in results.items():
+        rows: list[tuple] = []
+        names = list(by_tp)
+        for tp, res in by_tp.items():
+            rows.append((tp, *(round(x, 2) for x in dynamics_metrics(res))))
+        coord = by_tp[names[0]].summary["goodput_fps"]
+        for baseline in names[1:]:
+            gain = improvement(coord,
+                               by_tp[baseline].summary["goodput_fps"])
+            rows.append((f"goodput vs {baseline}", f"{gain:+.1f}%",
+                         "", "", "", ""))
+        groups[sched] = rows
+    return render_grouped(
+        "Dynamics sweeps (coordinated vs uncoordinated under mid-flow "
+        "network changes)",
+        ("transport", "Goodput fps", "Recv%", "Dur s", "TagDly ms",
+         "Stalls"), groups)

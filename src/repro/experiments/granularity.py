@@ -72,8 +72,8 @@ def _changing_net_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 
 def run_table7(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[str, ScenarioResult]:
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None) -> dict[str, ScenarioResult]:
     """Granularity, changing application: IQ (w/o ADAPT_COND) vs RUDP.
 
     The paper only runs scheme (2) here because with a changing application
@@ -81,6 +81,8 @@ def run_table7(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
     """
     from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
+    if overrides:
+        base = base.replace(**overrides)
     return run_batch({
         "IQ-RUDP w/o ADAPT_COND": base.replace(transport="iq_nocond"),
         "RUDP": base.replace(transport="rudp"),
@@ -88,11 +90,13 @@ def run_table7(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
 
 
 def run_table8(*, n_frames: int = 6000, seed: int = 1, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[str, ScenarioResult]:
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None) -> dict[str, ScenarioResult]:
     """Granularity, changing network: all three schemes on the long path."""
     from ..runner import run_batch
     base = _changing_net_config(n_frames, seed)
+    if overrides:
+        base = base.replace(**overrides)
     return run_batch({
         "IQ-RUDP w/ ADAPT_COND": base.replace(transport="iq"),
         "IQ-RUDP w/o ADAPT_COND": base.replace(transport="iq_nocond"),

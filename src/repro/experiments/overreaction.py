@@ -76,10 +76,12 @@ def _changing_net_config(cbr_bps: float, n_frames: int, seed: int
 
 
 def run_table5(*, n_frames: int = 8000, seed: int = 2, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[str, ScenarioResult]:
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None) -> dict[str, ScenarioResult]:
     from ..runner import run_batch
     base = _changing_app_config(n_frames, seed)
+    if overrides:
+        base = base.replace(**overrides)
     return run_batch({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
@@ -88,8 +90,9 @@ def run_table5(*, n_frames: int = 8000, seed: int = 2, jobs: int = 1,
 
 def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
                n_frames: int = 12000, seed: int = 2, jobs: int = 1,
-               cache=None,
-               trace: str | None = None) -> dict[int, dict[str, ScenarioResult]]:
+               cache=None, trace: str | None = None,
+               overrides: dict | None = None
+               ) -> dict[int, dict[str, ScenarioResult]]:
     """The congestion sweep; same VBR cross traffic across rates.
 
     All six (rate, scheme) runs are independent, so the whole sweep fans
@@ -99,6 +102,8 @@ def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
     configs: dict[tuple[int, str], ScenarioConfig] = {}
     for rate in rates_mbps:
         base = _changing_net_config(rate * 1e6, n_frames, seed)
+        if overrides:
+            base = base.replace(**overrides)
         configs[(rate, "IQ-RUDP")] = base.replace(transport="iq")
         configs[(rate, "RUDP")] = base.replace(transport="rudp")
     flat = run_batch(configs, jobs=jobs, cache=cache, trace=trace)

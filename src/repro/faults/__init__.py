@@ -1,0 +1,20 @@
+"""repro.faults -- declarative network-dynamics (fault-injection) subsystem.
+
+The paper's Emulab testbed only changes conditions at experiment
+boundaries; this package lets a scenario's network change *mid-flow*.  A
+:class:`FaultSchedule` of timed impairment phases rides inside
+:class:`~repro.experiments.common.ScenarioConfig` (hashable for the results
+cache, deterministic under any ``--jobs N``) and a :class:`FaultInjector`
+arms it against the topology at run start.
+
+See :mod:`repro.faults.schedule` for the phase vocabulary and
+:mod:`repro.experiments.dynamics` for the canonical flap/handover sweeps.
+"""
+
+from .injector import FaultInjector
+from .schedule import (DIRECTIONS, BandwidthRamp, Blackout, BurstyLoss,
+                       DelayRamp, FaultSchedule, Jitter, LinkFlap)
+
+__all__ = ["FaultSchedule", "FaultInjector", "Blackout", "LinkFlap",
+           "BurstyLoss", "BandwidthRamp", "DelayRamp", "Jitter",
+           "DIRECTIONS"]

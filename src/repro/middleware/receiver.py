@@ -89,6 +89,20 @@ class DeliveryLog:
         last = np.asarray(self._last, dtype=bool)
         return self.times[last]
 
+    def frames_delivered(self) -> int:
+        """Distinct application frames with at least one delivered segment.
+
+        This is the *delivered-frame* count the dynamics sweeps build
+        goodput from: a frame whose droppable (unmarked) segments were
+        deliberately shed still reached the receiver in degraded form and
+        counts, whereas :meth:`message_times` counts one entry per
+        *submitted message* -- per datagram under per-datagram marking --
+        and would score an intentional quality adaptation as lost goodput.
+        """
+        ids = self.frame_ids
+        ids = ids[ids >= 0]
+        return int(np.unique(ids).size)
+
     def tagged_times(self) -> np.ndarray:
         return self.times[self.tagged]
 

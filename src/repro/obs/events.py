@@ -9,6 +9,8 @@ Packet life cycle         :data:`PACKET_SEND`, :data:`PACKET_DROP`,
                           :data:`PACKET_ACK`, :data:`PACKET_RETX`
 Transport adaptation      :data:`CWND_CHANGE`, :data:`PERIOD_ROLL`
 Network state             :data:`QUEUE_DEPTH`
+Network dynamics          :data:`FAULT_PHASE`, :data:`LINK_FAIL`,
+                          :data:`LINK_RECOVER`
 Application loop          :data:`CALLBACK_FIRED`, :data:`ADAPT_ACTION`
 Coordination channel      :data:`ATTR_SENT`, :data:`ATTR_RECEIVED`,
                           :data:`COORD_ACTION`
@@ -28,6 +30,7 @@ __all__ = [
     "PACKET_SEND", "PACKET_DROP", "PACKET_ACK", "PACKET_RETX",
     "CWND_CHANGE", "QUEUE_DEPTH", "CALLBACK_FIRED", "ATTR_SENT",
     "ATTR_RECEIVED", "COORD_ACTION", "ADAPT_ACTION", "PERIOD_ROLL",
+    "FAULT_PHASE", "LINK_FAIL", "LINK_RECOVER",
     "EVENT_TYPES", "LAYERS", "TraceEvent",
 ]
 
@@ -43,12 +46,15 @@ ATTR_RECEIVED = "ATTR_RECEIVED"
 COORD_ACTION = "COORD_ACTION"
 ADAPT_ACTION = "ADAPT_ACTION"
 PERIOD_ROLL = "PERIOD_ROLL"
+FAULT_PHASE = "FAULT_PHASE"
+LINK_FAIL = "LINK_FAIL"
+LINK_RECOVER = "LINK_RECOVER"
 
 #: The closed vocabulary; sinks and the report validate against it.
 EVENT_TYPES = frozenset({
     PACKET_SEND, PACKET_DROP, PACKET_ACK, PACKET_RETX, CWND_CHANGE,
     QUEUE_DEPTH, CALLBACK_FIRED, ATTR_SENT, ATTR_RECEIVED, COORD_ACTION,
-    ADAPT_ACTION, PERIOD_ROLL,
+    ADAPT_ACTION, PERIOD_ROLL, FAULT_PHASE, LINK_FAIL, LINK_RECOVER,
 })
 
 #: Emitting layers, in stack order (used by the report for display only).

@@ -22,7 +22,8 @@ from typing import Any, Iterable, Sequence
 
 from ..analysis.tables import fmt, render_table
 from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
-                     COORD_ACTION, CWND_CHANGE, PERIOD_ROLL)
+                     COORD_ACTION, CWND_CHANGE, FAULT_PHASE, LINK_FAIL,
+                     LINK_RECOVER, PERIOD_ROLL)
 from .sinks import read_trace
 
 __all__ = ["coordination_audit", "render_timeline", "render_report",
@@ -32,7 +33,7 @@ __all__ = ["coordination_audit", "render_timeline", "render_report",
 #: their coupling, without the per-packet firehose.
 TIMELINE_EVENTS = frozenset({
     CALLBACK_FIRED, ATTR_SENT, ATTR_RECEIVED, COORD_ACTION, ADAPT_ACTION,
-    CWND_CHANGE, PERIOD_ROLL,
+    CWND_CHANGE, PERIOD_ROLL, FAULT_PHASE, LINK_FAIL, LINK_RECOVER,
 })
 
 #: Keys already shown in dedicated timeline columns.
@@ -81,23 +82,30 @@ def coordination_audit(events: Sequence[dict[str, Any]]
     """Pair every ``ATTR_RECEIVED`` with the ``COORD_ACTION`` events that
     reference it.
 
-    Returns ``{"pairs": [...], "unmatched_attrs": [...],
-    "unmatched_actions": [...]}`` where each pair is
+    Returns ``{"pairs": [...], "unmatched_attrs": [...], "spontaneous":
+    [...], "unmatched_actions": [...]}`` where each pair is
     ``{"attr": event, "actions": [event, ...]}``.  ``unmatched_attrs`` are
     exchanges the coordinator consumed without acting on (legitimately --
-    e.g. an attribute set with nothing the active schemes handle), and
+    e.g. an attribute set with nothing the active schemes handle);
+    ``spontaneous`` are transport-initiated actions that carry *no*
+    ``attr_seq`` because no application attribute exchange caused them
+    (the stall detector's graceful degradation / recovery); and
     ``unmatched_actions`` are actions whose ``attr_seq`` points at no
     recorded exchange (which would indicate a broken trace).
     """
     attrs_by_seq: dict[int, dict[str, Any]] = {}
     actions_by_attr: dict[int, list[dict[str, Any]]] = {}
+    spontaneous: list[dict[str, Any]] = []
     unmatched_actions: list[dict[str, Any]] = []
     for ev in events:
         etype = ev.get("event")
         if etype == ATTR_RECEIVED:
             attrs_by_seq[ev["seq"]] = ev
         elif etype == COORD_ACTION:
-            actions_by_attr.setdefault(ev.get("attr_seq", -1), []).append(ev)
+            if "attr_seq" in ev:
+                actions_by_attr.setdefault(ev["attr_seq"], []).append(ev)
+            else:
+                spontaneous.append(ev)
     pairs = []
     unmatched_attrs = []
     for seq, attr_ev in attrs_by_seq.items():
@@ -109,6 +117,7 @@ def coordination_audit(events: Sequence[dict[str, Any]]
     for leftover in actions_by_attr.values():
         unmatched_actions.extend(leftover)
     return {"pairs": pairs, "unmatched_attrs": unmatched_attrs,
+            "spontaneous": spontaneous,
             "unmatched_actions": unmatched_actions}
 
 
@@ -130,6 +139,11 @@ def _audit_rows(audit: dict[str, list[dict[str, Any]]]
         rows.append([attr_ev["seq"], f"{attr_ev.get('t', 0.0):.6f}",
                      _details({k: v for k, v in attr_ev.items()
                                if k not in _RESERVED}), "(no action)", ""])
+    for act in audit["spontaneous"]:
+        rows.append(["-", f"{act.get('t', 0.0):.6f}",
+                     "(transport-initiated)", act.get("action", "?"),
+                     _details({k: v for k, v in act.items()
+                               if k not in _RESERVED})])
     for act in audit["unmatched_actions"]:
         rows.append(["?", f"{act.get('t', 0.0):.6f}", "(missing exchange)",
                      act.get("action", "?"),
@@ -144,6 +158,9 @@ def render_audit(events: Sequence[dict[str, Any]]) -> str:
     n_unmatched = len(audit["unmatched_attrs"])
     title = (f"Coordination audit ({n_pairs} exchanges acted on, "
              f"{n_unmatched} consumed without action)")
+    n_spont = len(audit["spontaneous"])
+    if n_spont:
+        title = title[:-1] + f", {n_spont} transport-initiated)"
     rows = _audit_rows(audit)
     if not rows:
         return f"{title}\n  (no attribute exchanges in trace)"
@@ -165,20 +182,37 @@ def render_report(path, *, run: str | None = None, limit: int | None = 60,
     parts = [f"Trace report: {path} "
              f"(format {header.get('format')} v{header.get('version')}, "
              f"{len(runs)} run(s))"]
+    n_cached = 0
     for entry in runs:
         meta = _details(entry.get("meta") or {})
         head = f"== run {entry['run']}"
         if meta:
             head += f" [{meta}]"
         if entry.get("cached"):
-            head += " (served from cache: no event stream recorded)"
+            head += " (cached run -- no event stream)"
         parts.append("")
         parts.append(head)
         if entry.get("cached"):
+            n_cached += 1
             continue
         events = entry["events"]
         parts.append("")
         parts.append(render_timeline(events, types=types, limit=limit))
         parts.append("")
         parts.append(render_audit(events))
+    if n_cached:
+        # The results cache stores metrics, not event streams, so a cache
+        # hit has nothing to report on.  Say how to get the events back
+        # instead of presenting an empty report as a recorded one.
+        what = ("All" if n_cached == len(runs) else
+                f"{n_cached} of {len(runs)}") + \
+            (" runs were" if len(runs) > 1 else " runs was")
+        if n_cached == len(runs) == 1:
+            what = "This run was"
+        parts.append("")
+        parts.append(
+            f"note: {what} served from the results cache, which stores "
+            f"metrics but no event streams.\n"
+            f"      Re-record with the cache disabled to capture events, "
+            f"e.g.  REPRO_NO_CACHE=1 <command> --trace <path>")
     return "\n".join(parts)

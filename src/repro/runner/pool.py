@@ -50,8 +50,11 @@ def _run_traced(cfg: ScenarioConfig) -> ScenarioResult:
 
 def _trace_meta(cfg: ScenarioConfig) -> dict[str, Any]:
     """Per-run header fields for the trace file."""
-    return {"transport": cfg.transport, "workload": cfg.workload,
+    meta = {"transport": cfg.transport, "workload": cfg.workload,
             "seed": cfg.seed}
+    if cfg.faults is not None:
+        meta["faults"] = cfg.faults.describe()
+    return meta
 
 
 def _resolve_cache(cache: ResultsCache | bool | None) -> ResultsCache | None:

@@ -10,12 +10,13 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from ..obs.events import PACKET_DROP
+from ..obs.events import LINK_FAIL, LINK_RECOVER, PACKET_DROP
 from .engine import Simulator
 from .packet import Packet
 from .queues import DropTailQueue
 
-__all__ = ["Link", "PacketSink", "LossModel", "BernoulliLoss"]
+__all__ = ["Link", "PacketSink", "LossModel", "BernoulliLoss",
+           "GilbertElliottLoss", "DelayJitter"]
 
 
 class PacketSink(Protocol):
@@ -48,6 +49,78 @@ class BernoulliLoss(LossModel):
         return self._rng.random() < self.p
 
 
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (Gilbert--Elliott) bursty wire loss.
+
+    Each packet first moves the chain -- good->bad with probability
+    ``p_gb``, bad->good with ``p_bg`` -- then drops with the state's loss
+    probability (``loss_bad`` defaults to 1: the classic Gilbert model).
+    The stationary bad-state occupancy is ``p_gb / (p_gb + p_bg)``, so with
+    ``loss_good=0, loss_bad=1`` the long-run loss rate converges there.
+    """
+
+    def __init__(self, *, p_gb: float, p_bg: float, loss_good: float = 0.0,
+                 loss_bad: float = 1.0, rng) -> None:
+        for name, p in (("p_gb", p_gb), ("p_bg", p_bg),
+                        ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {p}")
+        if p_gb + p_bg <= 0:
+            raise ValueError("p_gb + p_bg must be positive (the chain "
+                             "must be able to move)")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._rng = rng
+        self.bad = False
+        # Introspection counters for tests/reports.
+        self.bursts = 0
+        self.dropped = 0
+        self.offered = 0
+
+    def drops(self, pkt: Packet) -> bool:
+        r = self._rng
+        if self.bad:
+            if r.random() < self.p_bg:
+                self.bad = False
+        elif r.random() < self.p_gb:
+            self.bad = True
+            self.bursts += 1
+        self.offered += 1
+        p = self.loss_bad if self.bad else self.loss_good
+        if p > 0.0 and r.random() < p:
+            self.dropped += 1
+            return True
+        return False
+
+
+class DelayJitter:
+    """Per-packet extra propagation delay: ``U(0, max_extra_s)`` applied
+    with probability ``p``.  Installed on ``Link.jitter``; delayed packets
+    can arrive after later undelayed ones, so this also induces reordering.
+    """
+
+    __slots__ = ("max_extra_s", "p", "_rng", "applied")
+
+    def __init__(self, *, max_extra_s: float, p: float = 1.0, rng) -> None:
+        if max_extra_s <= 0:
+            raise ValueError("max_extra_s must be positive")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0,1]")
+        self.max_extra_s = max_extra_s
+        self.p = p
+        self._rng = rng
+        self.applied = 0
+
+    def extra(self) -> float:
+        r = self._rng
+        if self.p < 1.0 and r.random() >= self.p:
+            return 0.0
+        self.applied += 1
+        return r.random() * self.max_extra_s
+
+
 class Link:
     """Unidirectional link: egress FIFO -> serialization -> propagation.
 
@@ -77,6 +150,7 @@ class Link:
         self.queue.trace = self.trace
         self.queue.name = name
         self.loss = loss or LossModel()
+        self.jitter: DelayJitter | None = None
         self._busy = False
         self.up = True
         # Wire counters for utilisation / fairness accounting.
@@ -123,7 +197,11 @@ class Link:
         if self.up and not self.loss.drops(pkt):
             # Propagation: deliver after the flight time.  priority=-1 makes
             # arrivals at an instant precede timers at the same instant.
-            self.sim.schedule(self.delay_s, self.sink.receive, pkt,
+            delay = self.delay_s
+            jit = self.jitter
+            if jit is not None:
+                delay += jit.extra()
+            self.sim.schedule(delay, self.sink.receive, pkt,
                               priority=-1)
         else:
             self.packets_lost_wire += 1
@@ -137,16 +215,43 @@ class Link:
             self._busy = False
 
     # ------------------------------------------------------------------
-    # Failure injection
+    # Dynamics (failure injection, handover ramps)
     # ------------------------------------------------------------------
     def fail(self) -> None:
-        """Administratively down the link; queued packets are flushed."""
+        """Administratively down the link; queued packets are flushed.
+        Idempotent -- failing a down link is a no-op."""
+        if not self.up:
+            return
         self.up = False
-        self.packets_lost_wire += len(self.queue)
+        flushed = len(self.queue)
+        self.packets_lost_wire += flushed
         self.queue.clear()
+        tr = self.trace
+        if tr.enabled:
+            tr.emit("net", LINK_FAIL, link=self.name, flushed=flushed)
 
     def recover(self) -> None:
+        if self.up:
+            return
         self.up = True
+        tr = self.trace
+        if tr.enabled:
+            tr.emit("net", LINK_RECOVER, link=self.name)
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the link rate mid-run (capacity ramp/cliff).  Packets
+        already serialising keep their old transmission time."""
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bps = bandwidth_bps
+
+    def set_delay(self, delay_s: float) -> None:
+        """Change the propagation delay mid-run (path change).  Packets
+        already in flight keep their old delay, which can reorder across
+        the boundary -- exactly what a real path change does."""
+        if delay_s < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.delay_s = delay_s
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Link {self.name} {self.bandwidth_bps/1e6:.1f}Mbps "

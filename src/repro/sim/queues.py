@@ -115,6 +115,15 @@ class DropTailQueue:
         self.stats.departures += 1
         return pkt
 
+    def set_capacity(self, capacity_bytes: int) -> None:
+        """Resize the buffer mid-run (router reconfiguration / handover to
+        a shallower-buffered path).  Already-queued packets are never
+        evicted; a shrunken queue just drops new arrivals until it drains
+        below the new budget."""
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+
     def clear(self) -> None:
         self._q.clear()
         self._bytes = 0

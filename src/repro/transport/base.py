@@ -62,7 +62,7 @@ class FlowStats:
                  "retransmissions", "skips_sent", "timeouts",
                  "fast_retransmits", "acked_packets", "acked_bytes",
                  "delivered_packets", "delivered_bytes", "skipped_received",
-                 "duplicates")
+                 "duplicates", "stalls", "stall_recoveries")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -87,6 +87,17 @@ class WindowedSender:
     metric_period : measurement period for exported metrics/callbacks
         (section 3.1's "measuring period").
     rwnd : receiver advertised window in packets (flow control bound).
+    rto_jitter : fraction of the RTO added as deterministic random jitter
+        (``rto * (1 + rto_jitter * U[0,1))``) so flows that stalled on the
+        same outage do not retransmit in lock-step when the link returns.
+        Needs ``rto_rng`` (a seeded stream from :mod:`repro.sim.rand`);
+        0.0 (the default) disables jitter entirely.
+    stall_threshold : consecutive head-of-line timeouts without forward
+        progress before the sender declares the path *stalled*: metric
+        periods measured while stalled are flagged as blackout (they do
+        not drive adaptation callbacks or ADAPT_COND corrections) and the
+        coordinator's ``on_stall``/``on_resume`` hooks fire for graceful
+        degradation.  0 (the default) disables stall detection.
     """
 
     def __init__(self, sim: Simulator, host: Host, *, port: int,
@@ -102,9 +113,18 @@ class WindowedSender:
                  use_eack: bool = False,
                  flow_id: int | None = None,
                  on_complete: Callable[[float], None] | None = None,
-                 on_space: Callable[[], None] | None = None):
+                 on_space: Callable[[], None] | None = None,
+                 rto_jitter: float = 0.0,
+                 rto_rng=None,
+                 stall_threshold: int = 0):
         if mss <= 0:
             raise ValueError("mss must be positive")
+        if rto_jitter < 0:
+            raise ValueError("rto_jitter cannot be negative")
+        if rto_jitter > 0 and rto_rng is None:
+            raise ValueError("rto_jitter needs an rto_rng stream")
+        if stall_threshold < 0:
+            raise ValueError("stall_threshold cannot be negative")
         self.sim = sim
         self.host = host
         self.port = port
@@ -145,6 +165,13 @@ class WindowedSender:
         self._completed = False
         self.backlog_bytes = 0
         self.low_water_bytes = 4 * mss
+
+        # Dynamics hardening (inert unless configured; see class docstring).
+        self.rto_jitter = rto_jitter
+        self._rto_rng = rto_rng
+        self.stall_threshold = stall_threshold
+        self._consec_timeouts = 0
+        self._stalled = False
 
         # Coordination-visible state.
         self.discard_unmarked = False
@@ -240,11 +267,16 @@ class WindowedSender:
         return min(int(self.cc.cwnd), self.rwnd)
 
     def current_error_ratio(self) -> float:
-        """Most recent period's error ratio (the coordination engine's
-        ``eratio_new`` in Eq. 1)."""
-        if self.metrics.history:
-            return self.metrics.history[-1].error_ratio
-        return 0.0
+        """Most recent *clean* period's error ratio (the coordination
+        engine's ``eratio_new`` in Eq. 1).  Blackout-flagged periods are
+        excluded -- an outage's ~100% loss describes a dead link, not
+        congestion, and would wreck the ADAPT_COND drift correction."""
+        return self.metrics.last_clean_error_ratio
+
+    @property
+    def stalled(self) -> bool:
+        """True while stall detection believes the path is dead."""
+        return self._stalled
 
     # ------------------------------------------------------------------
     # Transmission
@@ -337,6 +369,12 @@ class WindowedSender:
         if tr.enabled:
             tr.emit("transport", PACKET_ACK, flow=self.flow_id, ack=ack,
                     newly=newly)
+        if self._consec_timeouts:
+            self._consec_timeouts = 0
+            if self._stalled:
+                self._stalled = False
+                self.stats.stall_recoveries += 1
+                self.coordinator.on_resume(self.sim.now)
         sample: float | None = None
         for s in range(self.snd_una, ack):
             entry = self._window.pop(s, None)
@@ -431,7 +469,12 @@ class WindowedSender:
             self._rto_event.cancel()
             self._rto_event = None
         if self.inflight > 0:
-            self._rto_event = self.sim.schedule(self.rtt.rto, self._on_rto)
+            rto = self.rtt.rto
+            if self.rto_jitter:
+                # Deterministic decorrelation: seeded stream, so identical
+                # configs still produce identical schedules/traces.
+                rto *= 1.0 + self.rto_jitter * self._rto_rng.random()
+            self._rto_event = self.sim.schedule(rto, self._on_rto)
 
     def _on_rto(self) -> None:
         self._rto_event = None
@@ -442,6 +485,13 @@ class WindowedSender:
         self._in_recovery = False
         self._dup_acks = 0
         self._repaired.clear()
+        if self.stall_threshold:
+            self._consec_timeouts += 1
+            if (not self._stalled
+                    and self._consec_timeouts >= self.stall_threshold):
+                self._stalled = True
+                self.stats.stalls += 1
+                self.coordinator.on_stall(self.sim.now)
         self._retransmit(self.snd_una, timeout=True)
         self._arm_rto()
 
@@ -476,8 +526,9 @@ class WindowedSender:
     def _metric_tick(self) -> None:
         if self._completed:
             return
-        pm = self.metrics.roll(self.sim.now, self.rtt.rtt, self.cc.cwnd)
-        if pm.sent >= self.MIN_PERIOD_SAMPLES:
+        pm = self.metrics.roll(self.sim.now, self.rtt.rtt, self.cc.cwnd,
+                               blackout=self._stalled)
+        if pm.sent >= self.MIN_PERIOD_SAMPLES and not pm.blackout:
             tr = self.trace
             on_fire = None
             if tr.enabled:

@@ -49,7 +49,9 @@ class RudpConnection:
                  coordinator: Coordinator | None = None,
                  on_deliver: Callable[[Packet, float], None] | None = None,
                  on_complete: Callable[[float], None] | None = None,
-                 on_space: Callable[[], None] | None = None):
+                 on_space: Callable[[], None] | None = None,
+                 rto_jitter: float = 0.0, rto_rng=None,
+                 stall_threshold: int = 0):
         flow_id = make_flow_id(sim)
         self.service = AttributeService()
         self.callbacks = CallbackRegistry()
@@ -69,7 +71,9 @@ class RudpConnection:
             coordinator=coordinator or NullCoordinator(),
             callbacks=self.callbacks, service=self.service,
             metric_period=metric_period, rwnd=rwnd, flow_id=flow_id,
-            use_eack=True, on_complete=on_complete, on_space=on_space)
+            use_eack=True, on_complete=on_complete, on_space=on_space,
+            rto_jitter=rto_jitter, rto_rng=rto_rng,
+            stall_threshold=stall_threshold)
 
     # ------------------------------------------------------------------
     # Application-facing API (paper section 2.1's three mechanisms)

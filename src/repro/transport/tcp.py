@@ -34,7 +34,9 @@ class TcpConnection:
                  on_deliver: Callable[[Packet, float], None] | None = None,
                  on_complete: Callable[[float], None] | None = None,
                  on_space: Callable[[], None] | None = None,
-                 initial_ssthresh: float = 64.0):
+                 initial_ssthresh: float = 64.0,
+                 rto_jitter: float = 0.0, rto_rng=None,
+                 stall_threshold: int = 0):
         flow_id = make_flow_id(sim)
         self.service = AttributeService()
         self.receiver = WindowedReceiver(
@@ -45,7 +47,9 @@ class TcpConnection:
             peer_port=port, cc=RenoCC(initial_ssthresh=initial_ssthresh),
             mss=mss, reliability=FullReliability(), service=self.service,
             metric_period=metric_period, rwnd=rwnd, flow_id=flow_id,
-            on_complete=on_complete, on_space=on_space)
+            on_complete=on_complete, on_space=on_space,
+            rto_jitter=rto_jitter, rto_rng=rto_rng,
+            stall_threshold=stall_threshold)
 
     # Convenience passthroughs -------------------------------------------------
     def submit(self, size: int, **kw) -> int:

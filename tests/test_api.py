@@ -1,0 +1,145 @@
+"""Tests for the stable public facade (:mod:`repro.api`) and the shared
+``--set key=value`` override parser.
+
+The facade's contract: a :class:`~repro.api.Scenario` that constructs can
+run; anything invalid fails at construction with a did-you-mean hint; and
+``run``/``sweep``/``load_result`` round-trip through the batch runner and
+its cache format without exposing the internal module layout.
+"""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.api import FaultSchedule, Scenario, load_result, run, sweep
+from repro.cli import parse_overrides
+from repro.experiments.common import ScenarioConfig, ScenarioResult
+from repro.faults import Blackout
+
+
+def _small(**kw) -> Scenario:
+    base = dict(workload="greedy", n_frames=150, time_cap=60.0)
+    base.update(kw)
+    return Scenario(**base)
+
+
+# ----------------------------------------------------------------------
+# Scenario construction & validation
+# ----------------------------------------------------------------------
+def test_scenario_fields_pass_through():
+    sc = _small(transport="iq", cbr_bps=8e6, seed=7)
+    assert sc.transport == "iq"
+    assert sc.cbr_bps == 8e6
+    assert sc.seed == 7
+    assert isinstance(sc.config, ScenarioConfig)
+
+
+def test_unknown_field_fails_at_construction_with_hint():
+    with pytest.raises(ValueError, match="did you mean 'transport'"):
+        Scenario(transprot="iq")
+    with pytest.raises(ValueError, match="unknown ScenarioConfig field"):
+        _small().replace(bad_field=1)
+
+
+def test_invalid_value_fails_at_construction():
+    with pytest.raises(ValueError):
+        Scenario(transport="carrier-pigeon")
+    with pytest.raises(TypeError):
+        Scenario(faults="not a schedule")
+
+
+def test_scenario_is_immutable_and_replace_derives():
+    sc = _small(transport="iq")
+    with pytest.raises(AttributeError, match="immutable"):
+        sc.transport = "tcp"
+    other = sc.replace(transport="rudp", seed=9)
+    assert isinstance(other, Scenario)
+    assert other.transport == "rudp" and other.seed == 9
+    assert sc.transport == "iq"  # original untouched
+
+
+def test_scenario_repr_shows_non_defaults_only():
+    text = repr(_small(transport="rudp"))
+    assert "transport='rudp'" in text
+    assert "rtt_s" not in text  # default field stays out of the repr
+
+
+def test_missing_attribute_error_names_the_field():
+    with pytest.raises(AttributeError, match="no_such"):
+        _small().no_such
+
+
+def test_facade_accepts_schedules():
+    sched = FaultSchedule(Blackout(start=1.0, stop=2.0))
+    assert _small(faults=sched).faults is sched
+
+
+def test_package_root_reexports_the_facade():
+    assert repro.Scenario is Scenario
+    assert repro.run is run
+
+
+# ----------------------------------------------------------------------
+# run / sweep / load_result
+# ----------------------------------------------------------------------
+def test_run_and_sweep_execute_and_agree(tmp_path):
+    sc = _small(seed=3)
+    res = run(sc, cache=False)
+    assert isinstance(res, ScenarioResult)
+    assert res.completed
+    batch = sweep({"a": sc, "b": sc.replace(n_frames=200)}, jobs=2,
+                  cache=False)
+    assert list(batch) == ["a", "b"]
+    assert batch["a"].summary == res.summary  # same config, same numbers
+    assert batch["b"].summary != res.summary
+
+
+def test_run_accepts_raw_config_and_rejects_other_types():
+    cfg = ScenarioConfig(workload="greedy", n_frames=150, time_cap=60.0)
+    assert run(cfg, cache=False).completed
+    with pytest.raises(TypeError, match="expected a Scenario"):
+        run({"transport": "iq"})
+
+
+def test_load_result_round_trip_and_type_check(tmp_path):
+    res = run(_small(seed=5), cache=False)
+    good = tmp_path / "res.pkl"
+    with open(good, "wb") as fh:
+        pickle.dump(res.detach(), fh)
+    loaded = load_result(good)
+    assert isinstance(loaded, ScenarioResult)
+    assert loaded.summary == res.summary
+
+    bad = tmp_path / "other.pkl"
+    with open(bad, "wb") as fh:
+        pickle.dump({"not": "a result"}, fh)
+    with pytest.raises(TypeError, match="not a\n?.*ScenarioResult|holds"):
+        load_result(bad)
+    with pytest.raises(FileNotFoundError):
+        load_result(tmp_path / "missing.pkl")
+
+
+# ----------------------------------------------------------------------
+# The shared --set override parser
+# ----------------------------------------------------------------------
+def test_parse_overrides_literals_and_strings():
+    out = parse_overrides(["cbr_bps=16e6", "seed=3", "workload=greedy",
+                           "adaptation=None", "rates=(2.0, 1e6)"])
+    assert out == {"cbr_bps": 16e6, "seed": 3, "workload": "greedy",
+                   "adaptation": None, "rates": (2.0, 1e6)}
+
+
+def test_parse_overrides_empty_and_malformed():
+    assert parse_overrides(None) is None
+    assert parse_overrides([]) is None
+    with pytest.raises(SystemExit):
+        parse_overrides(["noequalsign"])
+    with pytest.raises(SystemExit):
+        parse_overrides(["=value"])
+
+
+def test_parse_overrides_feed_scenario_validation():
+    out = parse_overrides(["transprot=iq"])
+    with pytest.raises(ValueError, match="did you mean"):
+        _small().replace(**out)

@@ -73,4 +73,4 @@ def test_as_dict_keys():
     pm = PeriodMetrics(1.0, 10, 1, 100, 0.5, 0.03, 4.0)
     d = pm.as_dict()
     assert set(d) == {"time", "sent", "lost", "error_ratio", "rate_bps",
-                      "rtt", "cwnd"}
+                      "rtt", "cwnd", "blackout"}
