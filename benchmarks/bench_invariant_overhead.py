@@ -1,0 +1,93 @@
+"""Cost of the invariant-checking subsystem on the *disarmed* path.
+
+A scenario that does not arm :mod:`repro.invariants` must not pay for the
+checks it is not running.  The design makes that structural rather than a
+promise: arming swaps :class:`~repro.sim.engine.Simulator` for its
+:class:`~repro.invariants.CheckedSimulator` subclass, so the disarmed
+event loop contains *zero* added branches.  What remains on the disarmed
+path is per-scenario, not per-packet: the one ``cfg.invariants or
+REPRO_INVARIANTS`` arm check in ``run_scenario`` plus the class-attribute
+defaults (``failed`` / ``invariant_checks``) a result carries.
+
+As with ``bench_fault_overhead`` the overhead is therefore measured
+compositionally -- per-arm-check cost (generously multiplied) against the
+measured cost of a whole scenario -- and gated at <= 3%
+(``invariant_overhead_pct_max`` in ``perf_baseline.json``).  The bench
+also asserts the subsystem's central purity property end-to-end: an armed
+run's summary is bit-identical to the disarmed run's.
+"""
+
+import os
+import time
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+
+#: Disarmed-path guard points per scenario: the ``cfg.invariants`` read,
+#: the ``os.environ.get("REPRO_INVARIANTS")`` lookup, the class-attribute
+#: reads on the result.  Deliberately generous (the real count is ~4) --
+#: the estimate below multiplies by it.
+GUARDS_PER_SCENARIO = 64
+
+
+def _best_s(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_invariant_overhead(benchmark, perf_record):
+    """Disarmed arm-check cost as a fraction of real per-scenario work."""
+    # -- per-guard cost: the arm check run_scenario performs once ----------
+    n = 100_000
+    cfg = ScenarioConfig(transport="rudp", workload="fixed_clocked",
+                         n_frames=60, time_cap=20.0)
+
+    def guarded_loop():
+        acc = 0
+        for _ in range(n):
+            if cfg.invariants or bool(os.environ.get("REPRO_INVARIANTS")):
+                acc += 1
+        return acc
+
+    def plain_loop():
+        acc = 0
+        for _ in range(n):
+            acc += 1
+        return acc
+
+    guard_ns = max(_best_s(guarded_loop) - _best_s(plain_loop), 0.0) \
+        / n * 1e9
+
+    # -- per-scenario cost of the disarmed path ----------------------------
+    def scenario():
+        res = run_scenario(cfg)
+        assert not res.failed
+        return res
+
+    scenario_ns = _best_s(scenario, repeats=3) * 1e9
+    invariant_overhead_pct = \
+        100.0 * guard_ns * GUARDS_PER_SCENARIO / scenario_ns
+
+    # -- purity: arming must not change a single summary bit ---------------
+    disarmed = run_scenario(cfg)
+    armed = run_scenario(cfg.replace(invariants=True))
+    assert armed.invariant_checks > 0, "armed run performed no checks"
+    assert armed.summary == disarmed.summary, (
+        "armed and disarmed summaries differ -- the checker perturbed the "
+        "simulation it was only supposed to observe")
+    armed_ns = _best_s(lambda: run_scenario(cfg.replace(invariants=True)),
+                       repeats=3) * 1e9
+
+    perf_record("invariant_overhead",
+                guard_ns=round(guard_ns, 3),
+                scenario_ns=round(scenario_ns, 1),
+                invariant_overhead_pct=round(invariant_overhead_pct, 6),
+                armed_cost_pct=round(
+                    100.0 * (armed_ns - scenario_ns) / scenario_ns, 2))
+    assert invariant_overhead_pct < 3.0, (
+        f"disarmed arm-check overhead {invariant_overhead_pct:.4f}% "
+        "exceeds the 3% budget")
+    assert benchmark(scenario).completed

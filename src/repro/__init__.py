@@ -17,8 +17,12 @@ Layering (bottom-up):
 * :mod:`repro.traffic` -- MBone trace synthesis and cross-traffic sources.
 * :mod:`repro.experiments` / :mod:`repro.analysis` -- the evaluation
   harness regenerating every table and figure.
-* :mod:`repro.runner` -- process-pool batch execution of independent
-  scenarios with a persistent, code-version-salted results cache.
+* :mod:`repro.runner` -- resilient process-pool batch execution of
+  independent scenarios (crash isolation, timeouts, retries,
+  checkpoint/resume) with a persistent, code-version-salted results cache.
+* :mod:`repro.invariants` -- runtime correctness checks (conservation,
+  monotonicity, bounds) armed per scenario; :mod:`repro.fuzz` drives them
+  over seeded random configs with differential oracles (``repro fuzz``).
 
 Quickstart (the stable public surface is :mod:`repro.api`)::
 
@@ -32,10 +36,12 @@ Quickstart (the stable public surface is :mod:`repro.api`)::
 """
 
 from . import analysis, api, core, middleware, sim, traffic, transport
-from .api import Scenario, load_result, run, sweep
+from .api import (BatchExecutionError, FailedResult, InvariantViolation,
+                  Scenario, load_result, run, sweep)
 
 __version__ = "1.0.0"
 
 __all__ = ["analysis", "api", "core", "middleware", "sim", "traffic",
            "transport", "Scenario", "run", "sweep", "load_result",
+           "FailedResult", "BatchExecutionError", "InvariantViolation",
            "__version__"]

@@ -26,8 +26,12 @@ from typing import Any, Mapping
 
 from .experiments.common import ScenarioConfig, ScenarioResult
 from .faults import FaultSchedule  # noqa: F401  (re-export: schedules are config)
+from .invariants import InvariantViolation  # noqa: F401  (re-export)
+from .runner.failures import (  # noqa: F401  (re-export: resilient sweeps)
+    BatchExecutionError, FailedResult)
 
 __all__ = ["Scenario", "ScenarioResult", "FaultSchedule",
+           "FailedResult", "BatchExecutionError", "InvariantViolation",
            "run", "sweep", "load_result"]
 
 
@@ -100,7 +104,7 @@ def run(scenario: Scenario | ScenarioConfig, *,
 
 def sweep(scenarios: Mapping[Any, Scenario | ScenarioConfig], *,
           jobs: int = 1, cache=None,
-          trace: str | None = None) -> "dict[Any, ScenarioResult]":
+          trace: str | None = None, **resilience) -> "dict[Any, Any]":
     """Run a labelled batch of scenarios, optionally across ``jobs``
     worker processes; returns ``{label: ScenarioResult}`` in input order.
 
@@ -109,10 +113,16 @@ def sweep(scenarios: Mapping[Any, Scenario | ScenarioConfig], *,
 
         results = sweep({tp: base.replace(transport=tp)
                          for tp in ("iq", "rudp", "tcp")}, jobs=4)
+
+    Resilience keywords (``on_error="capture"``, ``timeout``, ``retries``,
+    ``retry_backoff_s``, ``checkpoint``) pass through to
+    :func:`repro.runner.run_batch`; with ``on_error="capture"`` failed
+    labels map to :class:`FailedResult` rows instead of raising.
     """
     from .runner import run_batch
     configs = {label: _as_config(sc) for label, sc in scenarios.items()}
-    return run_batch(configs, jobs=jobs, cache=cache, trace=trace)
+    return run_batch(configs, jobs=jobs, cache=cache, trace=trace,
+                     **resilience)
 
 
 def load_result(path: str | os.PathLike) -> ScenarioResult:

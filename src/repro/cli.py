@@ -9,6 +9,7 @@ Examples
     python -m repro table6 --jobs 4        # fan rows across 4 processes
     python -m repro table3 --set cbr_bps=16e6   # override any config field
     python -m repro dynamics --jobs 4      # network-dynamics sweeps
+    python -m repro fuzz --budget 25 --seed 4   # differential fuzz sweep
     python -m repro list                   # what's available
     python -m repro scenario --transport iq --workload greedy \
         --cbr 16e6 --frames 4000 --adaptation resolution
@@ -205,6 +206,13 @@ def _run_scenario_cmd(args) -> str:
                         title=f"scenario: {args.transport}/{args.workload}")
 
 
+def _run_fuzz_cmd(args) -> int:
+    from .fuzz import run_fuzz
+    report = run_fuzz(budget=args.budget, seed=args.seed, jobs=args.jobs,
+                      timeout=args.timeout)
+    return 0 if report.ok else 1
+
+
 def _run_report_cmd(args) -> str:
     from .obs.report import render_report
     types = None
@@ -278,6 +286,21 @@ def build_parser() -> argparse.ArgumentParser:
                          "fresh, uncached run)")
     add_set_option(sc)
 
+    fz = sub.add_parser(
+        "fuzz",
+        help="seeded scenario fuzz: random configs + fault schedules run "
+             "with invariants armed and differential oracles (jobs=1 vs "
+             "jobs=N, cache-hit vs fresh, armed vs disarmed)")
+    fz.add_argument("--budget", type=int, default=25, metavar="N",
+                    help="number of generated cases (default 25)")
+    fz.add_argument("--seed", type=int, default=4,
+                    help="generator seed; the case list is a pure function "
+                         "of it (default 4)")
+    fz.add_argument("--jobs", type=int, default=2, metavar="N",
+                    help="worker count for the parallel differential pass")
+    fz.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                    help="per-case wall-clock budget in seconds")
+
     rp = sub.add_parser("report",
                         help="render timeline + coordination audit for a "
                              "trace file")
@@ -303,6 +326,8 @@ def main(argv: list[str] | None = None) -> int:
             print(_run_dynamics(args))
         elif args.command == "scenario":
             print(_run_scenario_cmd(args))
+        elif args.command == "fuzz":
+            return _run_fuzz_cmd(args)
         elif args.command == "report":
             print(_run_report_cmd(args))
         else:

@@ -14,10 +14,12 @@ tables report.  Benches can pass ``n_frames`` to scale up.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable
 
 from ..analysis.stats import flow_summary
 from ..faults import FaultInjector, FaultSchedule
+from ..invariants import CheckedSimulator, InvariantChecker
 from ..middleware.adaptation import AdaptationStrategy, NullAdaptation
 from ..obs.bus import TraceBus
 from ..obs.metrics import MetricsRegistry, collect_scenario_metrics
@@ -84,7 +86,8 @@ class ScenarioConfig:
                  seed: int = 1,
                  time_cap: float = 600.0,
                  fixed_window: float = 64.0,
-                 faults: FaultSchedule | None = None):
+                 faults: FaultSchedule | None = None,
+                 invariants: bool = False):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
         if workload not in ("trace_clocked", "greedy", "fixed_clocked"):
@@ -117,6 +120,7 @@ class ScenarioConfig:
         self.time_cap = time_cap
         self.fixed_window = fixed_window
         self.faults = faults
+        self.invariants = invariants
 
     def replace(self, **kw: Any) -> "ScenarioConfig":
         """Copy with overrides (sweep helper).
@@ -143,6 +147,12 @@ class ScenarioConfig:
 
 class ScenarioResult:
     """Everything a bench or test needs from one run."""
+
+    #: Discriminator against :class:`repro.runner.FailedResult` -- batch
+    #: consumers can filter a mixed result list on ``res.failed``.
+    failed = False
+    #: Invariant sweeps executed (armed runs overwrite per instance).
+    invariant_checks = 0
 
     def __init__(self, *, summary: dict[str, float], log: DeliveryLog,
                  conn, source: AdaptiveSource | None,
@@ -233,7 +243,13 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
     ``ScenarioConfig`` -- it never changes results, so it must not change
     cache keys.
     """
-    sim = Simulator()
+    # Invariant checking (repro.invariants): the checked engine plus a
+    # periodic read-only checker.  Armed and disarmed runs produce
+    # bit-identical summaries -- checks observe, never steer -- so the
+    # flag deliberately *is* part of the config (and the cache key): a
+    # violation aborts the run, which is a different outcome.
+    armed = cfg.invariants or bool(os.environ.get("REPRO_INVARIANTS"))
+    sim = CheckedSimulator() if armed else Simulator()
     if trace_sink is not None:
         sim.bus = TraceBus(sim, sinks=[trace_sink])
     streams = RandomStreams(cfg.seed)
@@ -347,10 +363,23 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
         tcp_cross.cross_log = cross_log  # type: ignore[attr-defined]
         sim.at(0.0, bulk.start)
 
+    # -- invariants ---------------------------------------------------------
+    checker = None
+    if armed:
+        checker = InvariantChecker(
+            sim, scenario=f"{cfg.transport}/{cfg.workload}/seed={cfg.seed}")
+        checker.watch_network(net)
+        checker.watch_flow(conn, log)
+        if tcp_cross is not None:
+            checker.watch_flow(tcp_cross, tcp_cross.cross_log)
+        checker.arm()
+
     # -- run ----------------------------------------------------------------
     source.start(at=0.0)
     while sim.now < cfg.time_cap and not conn.completed:
         sim.run(until=min(sim.now + 1.0, cfg.time_cap))
+    if checker is not None:
+        checker.final()
 
     summary = flow_summary(
         log, submitted_datagrams=conn.sender.stats.submitted_segments)
@@ -361,7 +390,13 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
     registry = collect_scenario_metrics(MetricsRegistry(), conn=conn, net=net,
                                         strategy=strategy)
     summary.update(registry.summary(prefix="obs_"))
-    return ScenarioResult(summary=summary, log=log, conn=conn, source=source,
-                          strategy=strategy, net=net, sim=sim,
-                          completed=conn.completed, tcp_cross=tcp_cross,
-                          registry=registry, injector=injector)
+    res = ScenarioResult(summary=summary, log=log, conn=conn, source=source,
+                         strategy=strategy, net=net, sim=sim,
+                         completed=conn.completed, tcp_cross=tcp_cross,
+                         registry=registry, injector=injector)
+    if checker is not None:
+        # Deliberately an attribute, not a summary key: armed and disarmed
+        # summaries must stay bit-identical (the differential fuzz oracle
+        # compares them).
+        res.invariant_checks = checker.checks_run
+    return res

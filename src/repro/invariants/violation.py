@@ -1,0 +1,62 @@
+"""The structured invariant-violation error.
+
+A violation is a *simulation correctness* failure, not a user error: some
+conservation law or monotonicity property the simulator promises stopped
+holding mid-run.  The exception therefore carries everything a batch
+report needs to triage it without re-running: which named invariant broke,
+at what simulation time, in which scenario, and the counter snapshot that
+contradicts the law.
+
+Violations raised inside a worker process cross back to the parent as a
+``FailedResult`` (see :mod:`repro.runner`), so a single insane scenario in
+a thousand-run sweep surfaces as one failed row instead of a dead batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["InvariantViolation"]
+
+
+def _rebuild(name, message, sim_time, scenario, counters):
+    return InvariantViolation(name, message, sim_time=sim_time,
+                              scenario=scenario, counters=counters)
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant check failed.
+
+    Parameters
+    ----------
+    name : the invariant's stable identifier (e.g. ``"queue-conservation"``,
+        ``"time-monotonicity"``, ``"cwnd-bounds"``).
+    message : human-readable statement of what stopped holding.
+    sim_time : virtual time at which the check ran.
+    scenario : short scenario description (transport/workload/seed).
+    counters : snapshot of the counters that witness the violation.
+    """
+
+    def __init__(self, name: str, message: str = "", *,
+                 sim_time: float = 0.0, scenario: str = "",
+                 counters: Mapping[str, Any] | None = None):
+        self.name = name
+        self.message = message
+        self.sim_time = float(sim_time)
+        self.scenario = scenario
+        self.counters = dict(counters) if counters else {}
+        detail = f"[{name}] t={self.sim_time:.6f}s"
+        if scenario:
+            detail += f" ({scenario})"
+        detail += f": {message}"
+        if self.counters:
+            detail += " | " + " ".join(
+                f"{k}={v}" for k, v in sorted(self.counters.items()))
+        super().__init__(detail)
+
+    # Custom constructor signature: the default exception reduce would try
+    # ``InvariantViolation(str(self))`` on unpickle and fail, so spell out
+    # the rebuild (violations cross process boundaries in worker batches).
+    def __reduce__(self):
+        return (_rebuild, (self.name, self.message, self.sim_time,
+                           self.scenario, self.counters))

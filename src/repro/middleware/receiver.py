@@ -123,3 +123,31 @@ class DeliveryLog:
             return ia
         means = np.cumsum(ia) / np.arange(1, ia.size + 1)
         return np.abs(ia - means)
+
+    # ------------------------------------------------------------------
+    def consistency_violation(self, start: int = 0) -> str | None:
+        """Frame-accounting sanity from index ``start`` (incremental, so a
+        periodic checker never rescans the whole log).  The parallel lists
+        must stay aligned, delivery times must be non-decreasing and never
+        precede the packet's creation, and every delivered payload is
+        non-empty (skip segments are consumed before they reach the log).
+        Returns a description, or None when consistent."""
+        n = len(self._t)
+        for name in ("_size", "_tagged", "_frame", "_last", "_created"):
+            m = len(getattr(self, name))
+            if m != n:
+                return f"log misaligned: {name} has {m} rows, times has {n}"
+        prev = self._t[start - 1] if start > 0 else float("-inf")
+        for i in range(start, n):
+            t = self._t[i]
+            if t < prev:
+                return (f"delivery times regress at index {i}: "
+                        f"{t!r} < {prev!r}")
+            if t < self._created[i]:
+                return (f"delivery at index {i} precedes creation: "
+                        f"t={t!r} created={self._created[i]!r}")
+            if self._size[i] <= 0:
+                return (f"non-positive delivered size {self._size[i]} "
+                        f"at index {i}")
+            prev = t
+        return None

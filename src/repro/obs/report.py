@@ -183,9 +183,15 @@ def render_report(path, *, run: str | None = None, limit: int | None = 60,
              f"(format {header.get('format')} v{header.get('version')}, "
              f"{len(runs)} run(s))"]
     n_cached = 0
+    n_failed = 0
     for entry in runs:
-        meta = _details(entry.get("meta") or {})
+        meta_dict = entry.get("meta") or {}
+        failed = bool(meta_dict.get("failed"))
+        meta = _details({k: v for k, v in meta_dict.items()
+                         if k != "failed"})
         head = f"== run {entry['run']}"
+        if failed:
+            head += " ** FAILED **"
         if meta:
             head += f" [{meta}]"
         if entry.get("cached"):
@@ -194,6 +200,15 @@ def render_report(path, *, run: str | None = None, limit: int | None = 60,
         parts.append(head)
         if entry.get("cached"):
             n_cached += 1
+            continue
+        if failed:
+            # A failed run ships no event stream: the classified failure
+            # (failed_kind / error_type / error / attempts) is in the head
+            # line above, and the full traceback lives in the batch's
+            # raised/captured FailedResult, not the trace file.
+            n_failed += 1
+            parts.append("   (no event stream -- scenario failed before "
+                         "producing a result; see failed_kind/error above)")
             continue
         events = entry["events"]
         parts.append("")
@@ -215,4 +230,11 @@ def render_report(path, *, run: str | None = None, limit: int | None = 60,
             f"metrics but no event streams.\n"
             f"      Re-record with the cache disabled to capture events, "
             f"e.g.  REPRO_NO_CACHE=1 <command> --trace <path>")
+    if n_failed:
+        parts.append("")
+        parts.append(
+            f"note: {n_failed} of {len(runs)} run(s) FAILED; rows are "
+            f"marked above with their failure kind.  Deterministic kinds "
+            f"(error/invariant) reproduce by re-running the same config; "
+            f"transient kinds (timeout/worker-lost) may pass on retry.")
     return "\n".join(parts)

@@ -24,9 +24,18 @@ Environment knobs:
 ``REPRO_NO_CACHE=1``
     Disable the persistent cache entirely (compute everything fresh,
     write nothing).
+
+Resilient execution (PR 4) rides on :func:`run_batch`'s keywords:
+``on_error="capture"`` isolates per-scenario crashes as
+:class:`FailedResult` rows, ``timeout=S`` kills hung scenarios,
+``retries=N`` re-runs transient losses with exponential backoff, and
+``checkpoint=PATH`` journals completions for byte-identical resume after
+a kill.  See :mod:`.failures`, :mod:`.supervisor`, :mod:`.checkpoint`.
 """
 
 from .cache import ResultsCache, cache_enabled, default_cache, memo
+from .checkpoint import SweepJournal
+from .failures import BatchExecutionError, FailedResult
 from .hashing import code_salt, config_fingerprint, config_key
 from .pool import run_batch, run_one
 
@@ -34,4 +43,5 @@ __all__ = [
     "ResultsCache", "cache_enabled", "default_cache", "memo",
     "code_salt", "config_fingerprint", "config_key",
     "run_batch", "run_one",
+    "FailedResult", "BatchExecutionError", "SweepJournal",
 ]

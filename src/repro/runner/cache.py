@@ -13,6 +13,7 @@ import os
 import pathlib
 import pickle
 import tempfile
+import warnings
 from typing import Any, Callable
 
 from .hashing import code_salt
@@ -49,12 +50,19 @@ class ResultsCache:
         self.root = pathlib.Path(root) if root is not None else _default_root()
         self.hits = 0
         self.misses = 0
+        self._write_disabled = False
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.pkl"
 
-    def get(self, key: str) -> Any | None:
-        """Stored value for ``key``, or None on miss/corruption."""
+    def get(self, key: str, expect: type | tuple[type, ...] | None = None
+            ) -> Any | None:
+        """Stored value for ``key``, or None on miss/corruption.
+
+        ``expect`` names the type(s) the payload must be an instance of;
+        anything else -- a stale or hostile file that happens to unpickle
+        -- is treated exactly like corruption: a miss, never returned.
+        """
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
@@ -63,24 +71,50 @@ class ResultsCache:
                 ImportError, IndexError):
             self.misses += 1
             return None
+        if expect is not None and not isinstance(value, expect):
+            self.misses += 1
+            return None
         self.hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (atomic replace)."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Store ``value`` under ``key`` (atomic replace).
+
+        Storage-level failures (read-only directory, disk full -- any
+        ``OSError``) must not kill the sweep that was merely trying to
+        memoise: the first one degrades this cache to read-only with a
+        single warning and every later ``put`` is a silent no-op.
+        Serialisation errors (unpicklable payloads) still raise -- they
+        are a caller bug, not an environment condition.
+        """
+        if self._write_disabled:
+            return
         path = self.path_for(key)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        except OSError as exc:
+            self._disable_writes(exc)
+            return
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                self._disable_writes(exc)
+                return
             raise
+
+    def _disable_writes(self, exc: OSError) -> None:
+        self._write_disabled = True
+        warnings.warn(
+            f"results cache at {self.root} is not writable ({exc}); "
+            "continuing without caching", RuntimeWarning, stacklevel=4)
 
 
 def default_cache() -> ResultsCache:

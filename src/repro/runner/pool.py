@@ -17,18 +17,36 @@ parent writes one deterministic JSONL file with the runs in batch order --
 so the trace file, like the results, is identical for any worker count.
 Cache *hits* are recorded in the trace header as ``"cached": true`` with no
 event stream (the cache stores metrics, not events).
+
+Resilient execution
+-------------------
+The legacy contract -- any scenario exception propagates out of
+``run_batch`` unchanged -- is the default.  Asking for any resilience
+feature (``on_error="capture"``, a ``timeout``, ``retries`` or a
+``checkpoint``) switches the misses onto the supervised one-shot-process
+path (:mod:`.supervisor`): crashes become :class:`FailedResult` rows,
+hangs are killed at the wall-clock budget, transient losses retry with
+exponential backoff, SIGINT drains with partial results, and completed
+scenarios are journaled to the checkpoint for byte-identical resume.
+With ``on_error="raise"`` (still the default) a surviving failure is
+re-raised as :class:`BatchExecutionError` carrying the worker traceback;
+``"capture"`` returns the failures in-place so sweeps can triage.
 """
 
 from __future__ import annotations
 
 import pickle
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..experiments.common import ScenarioConfig, ScenarioResult, run_scenario
 from ..obs.sinks import RingBufferSink, write_trace
 from .cache import ResultsCache, cache_enabled, default_cache
+from .checkpoint import SweepJournal
+from .failures import BatchExecutionError, FailedResult
 from .hashing import config_key
+from .supervisor import classify_exception, describe_config, run_supervised
 
 __all__ = ["run_batch", "run_one"]
 
@@ -48,12 +66,27 @@ def _run_traced(cfg: ScenarioConfig) -> ScenarioResult:
     return res
 
 
-def _trace_meta(cfg: ScenarioConfig) -> dict[str, Any]:
-    """Per-run header fields for the trace file."""
+def _trace_meta(cfg: ScenarioConfig,
+                res: ScenarioResult | FailedResult | None) -> dict[str, Any]:
+    """Per-run header fields for the trace file.
+
+    Failure metadata is flattened in (``write_trace`` merges the dict into
+    the run head line), so ``repro report`` can render failed runs from
+    the head line alone.
+    """
     meta = {"transport": cfg.transport, "workload": cfg.workload,
             "seed": cfg.seed}
     if cfg.faults is not None:
         meta["faults"] = cfg.faults.describe()
+    if isinstance(res, FailedResult):
+        meta["failed"] = True
+        meta["failed_kind"] = res.kind
+        if res.error_type:
+            meta["error_type"] = res.error_type
+        if res.message:
+            meta["error"] = res.message.splitlines()[0][:200]
+        if res.attempts > 1:
+            meta["attempts"] = res.attempts
     return meta
 
 
@@ -71,79 +104,208 @@ def _resolve_cache(cache: ResultsCache | bool | None) -> ResultsCache | None:
     return default_cache()
 
 
+def _validate_jobs(jobs: int | None) -> int:
+    """Normalise ``jobs`` to a positive int; reject nonsense loudly.
+
+    ``jobs=0`` or a negative count used to fall through to the serial
+    path silently -- a typo'd ``--jobs 0`` ran a thousand-scenario sweep
+    on one core without a word.  Booleans are rejected too (``True`` is
+    an ``int`` that would "work").
+    """
+    if jobs is None:
+        return 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(f"jobs must be a positive integer or None, "
+                         f"got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (got {jobs}); use jobs=1 or "
+                         f"None for in-process execution")
+    return jobs
+
+
+def _capture_inprocess(cfg: ScenarioConfig, worker: Callable
+                       ) -> ScenarioResult | FailedResult:
+    """Serial crash isolation: same classification as the supervisor, no
+    process boundary (used when neither timeouts nor parallelism are
+    requested)."""
+    try:
+        return worker(cfg)
+    except Exception as exc:
+        return FailedResult(kind=classify_exception(exc),
+                            error_type=type(exc).__name__, message=str(exc),
+                            traceback=traceback.format_exc(), attempts=1,
+                            scenario=describe_config(cfg))
+
+
 def run_one(cfg: ScenarioConfig, *,
             cache: ResultsCache | bool | None = None,
-            trace: str | None = None) -> ScenarioResult:
-    """Cached single-scenario run (always detached)."""
-    return run_batch([cfg], cache=cache, trace=trace)[0]
+            trace: str | None = None, **kw) -> ScenarioResult:
+    """Cached single-scenario run (always detached).  Resilience keywords
+    (``on_error``/``timeout``/``retries``/``checkpoint``) pass through to
+    :func:`run_batch`."""
+    return run_batch([cfg], cache=cache, trace=trace, **kw)[0]
 
 
 def run_batch(configs: Mapping[Any, ScenarioConfig] |
               Sequence[ScenarioConfig], *,
               jobs: int | None = 1,
               cache: ResultsCache | bool | None = None,
-              trace: str | None = None):
+              trace: str | None = None,
+              on_error: str = "raise",
+              timeout: float | None = None,
+              retries: int = 0,
+              retry_backoff_s: float = 0.05,
+              checkpoint: str | None = None):
     """Execute a batch of independent scenarios, in parallel when asked.
 
-    ``configs`` is either a mapping (returns ``{key: ScenarioResult}``,
-    insertion order preserved) or a sequence (returns a list).  ``jobs``
-    is the worker-process count; ``None`` or ``1`` runs in-process, and
-    only cache *misses* are fanned out.  Configs whose fields cannot be
-    stably hashed (lambda adaptation factories) always run fresh.
+    ``configs`` is either a mapping (returns ``{key: result}``, insertion
+    order preserved) or a sequence (returns a list).  ``jobs`` is the
+    worker-process count; ``None`` or ``1`` runs in-process, and only
+    cache *misses* are fanned out.  Configs whose fields cannot be stably
+    hashed (lambda adaptation factories) always run fresh.
 
     ``trace`` names a JSONL(.gz) file to write the batch's event streams
     to; see the module docstring for determinism and cache semantics.
+
+    Resilience (see module docstring):
+
+    on_error : ``"raise"`` (default) propagates the first failure --
+        unchanged from the worker for the legacy path,
+        :class:`BatchExecutionError` for the supervised path.
+        ``"capture"`` returns :class:`FailedResult` rows in-place.
+    timeout : per-scenario wall-clock budget in seconds; expiry kills the
+        worker and classifies the run ``"timeout"``.
+    retries : extra attempts for *transient* failures (timeout /
+        worker-lost) with ``retry_backoff_s * 2**attempt`` backoff.
+        Deterministic Python exceptions never retry.
+    checkpoint : path of an append-only journal of completed scenarios;
+        re-running the same batch with the same path resumes, re-executing
+        only what is missing.  Composes with the results cache (both are
+        keyed by the code-salted config key).
     """
+    jobs = _validate_jobs(jobs)
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', "
+                         f"got {on_error!r}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout!r}")
+    if retries < 0:
+        raise ValueError(f"retries cannot be negative, got {retries!r}")
+
     keyed = isinstance(configs, Mapping)
     names = list(configs.keys()) if keyed else None
     cfgs = list(configs.values()) if keyed else list(configs)
     store = _resolve_cache(cache)
     worker = _run_traced if trace is not None else _run_detached
+    resilient = (on_error == "capture" or timeout is not None
+                 or retries > 0 or checkpoint is not None)
 
-    results: list[ScenarioResult | None] = [None] * len(cfgs)
+    journal = SweepJournal(checkpoint) if checkpoint is not None else None
+    journal_done = journal.load() if journal is not None else {}
+
+    results: list[Any] = [None] * len(cfgs)
     misses: list[int] = []
     keys: list[str | None] = []
+    need_keys = store is not None or journal is not None
     for i, cfg in enumerate(cfgs):
-        key = config_key(cfg) if store is not None else None
+        key = config_key(cfg) if need_keys else None
         keys.append(key)
-        hit = store.get(key) if key is not None else None
+        hit = None
+        if key is not None:
+            if store is not None:
+                hit = store.get(key, expect=ScenarioResult)
+            if hit is None:
+                hit = journal_done.get(key)
         if hit is not None:
             results[i] = hit
         else:
             misses.append(i)
 
-    if misses:
-        todo = [cfgs[i] for i in misses]
-        if jobs is not None and jobs > 1 and len(todo) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as ex:
-                fresh = list(ex.map(worker, todo))
-        else:
-            fresh = [worker(cfg) for cfg in todo]
-        for i, res in zip(misses, fresh):
-            results[i] = res
-            if store is not None and keys[i] is not None:
-                # Event streams are per-run evidence, not results: they are
-                # deliberately kept out of the persistent cache payload.
-                events = res.trace
-                res.trace = None
+    def _persist(i: int, res: Any) -> None:
+        """Cache + journal one fresh success (event streams stay out of
+        both: they are per-run evidence, not results)."""
+        if not isinstance(res, ScenarioResult) or keys[i] is None:
+            return
+        events = res.trace
+        res.trace = None
+        try:
+            if store is not None:
                 try:
                     store.put(keys[i], res)
                 except (pickle.PicklingError, TypeError, AttributeError):
                     pass  # unpicklable payloads just skip persistence
-                finally:
-                    res.trace = events
+            if journal is not None:
+                try:
+                    journal.append(keys[i], res)
+                except (pickle.PicklingError, TypeError, AttributeError,
+                        OSError):
+                    pass
+        finally:
+            res.trace = events
+
+    interrupted = False
+    try:
+        if misses and not resilient:
+            # Legacy fast path: byte-for-byte the pre-resilience behaviour
+            # (exceptions propagate unchanged; pool map for parallelism).
+            todo = [cfgs[i] for i in misses]
+            if jobs > 1 and len(todo) > 1:
+                with ProcessPoolExecutor(
+                        max_workers=min(jobs, len(todo))) as ex:
+                    fresh = list(ex.map(worker, todo))
+            else:
+                fresh = [worker(cfg) for cfg in todo]
+            for i, res in zip(misses, fresh):
+                results[i] = res
+                _persist(i, res)
+        elif misses:
+            if jobs == 1 and timeout is None:
+                # In-process capture: no workers to lose or kill, so
+                # retries have nothing transient to act on.
+                for i in misses:
+                    res = _capture_inprocess(cfgs[i], worker)
+                    results[i] = res
+                    _persist(i, res)
+            else:
+                def _on_result(i: int, res: Any) -> None:
+                    _persist(i, res)
+
+                got, interrupted = run_supervised(
+                    [(i, cfgs[i]) for i in misses], worker, jobs=jobs,
+                    timeout=timeout, retries=retries,
+                    retry_backoff_s=retry_backoff_s, on_result=_on_result)
+                for i in misses:
+                    results[i] = got.get(i)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    # Supervisor gaps (only possible on interrupt) become typed rows too.
+    for i in misses:
+        if results[i] is None:
+            results[i] = FailedResult(kind="interrupted",
+                                      scenario=describe_config(cfgs[i]))
 
     if trace is not None:
         run_entries = []
         for i, (cfg, res) in enumerate(zip(cfgs, results)):
             label = str(names[i]) if keyed else str(i)
             cached = i not in misses
+            failed = isinstance(res, FailedResult)
             run_entries.append({
                 "run": label, "cached": cached,
-                "events": None if cached else getattr(res, "trace", None),
-                "meta": _trace_meta(cfg),
+                "events": (None if cached or failed
+                           else getattr(res, "trace", None)),
+                "meta": _trace_meta(cfg, res),
             })
         write_trace(trace, run_entries)
+
+    if interrupted and on_error == "raise":
+        raise KeyboardInterrupt
+    if on_error == "raise":
+        for res in results:
+            if isinstance(res, FailedResult):
+                raise BatchExecutionError(res)
 
     if keyed:
         return dict(zip(names, results))

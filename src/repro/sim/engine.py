@@ -307,6 +307,28 @@ class Simulator:
         self._heap.clear()
         self._dead = 0
 
+    def audit(self) -> str | None:
+        """Cheap internal-consistency check of the scheduler state.
+
+        Returns a description of the first problem found, or None when the
+        engine is sane.  Used by :mod:`repro.invariants`; kept here because
+        it reads private state.  O(1) -- it inspects counters and the heap
+        head only, never walks the heap.
+        """
+        heap = self._heap
+        dead = self._dead
+        if dead < 0:
+            return f"dead-entry counter negative ({dead})"
+        if dead > len(heap):
+            return (f"dead-entry counter {dead} exceeds heap size "
+                    f"{len(heap)}")
+        if heap:
+            head_time = heap[0][0]
+            if head_time < self._now - 1e-9:
+                return (f"heap head at t={head_time!r} is in the past "
+                        f"(now={self._now!r})")
+        return None
+
     def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debug aid
         return iter(sorted((entry[3] for entry in self._heap
                             if entry[3]._alive)))

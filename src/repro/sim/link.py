@@ -223,9 +223,8 @@ class Link:
         if not self.up:
             return
         self.up = False
-        flushed = len(self.queue)
+        flushed = self.queue.flush()
         self.packets_lost_wire += flushed
-        self.queue.clear()
         tr = self.trace
         if tr.enabled:
             tr.emit("net", LINK_FAIL, link=self.name, flushed=flushed)
@@ -252,6 +251,18 @@ class Link:
         if delay_s < 0:
             raise ValueError("propagation delay cannot be negative")
         self.delay_s = delay_s
+
+    def accounting_violation(self) -> str | None:
+        """Wire accounting at this link: every queue departure must either
+        have finished serialising (``packets_sent``) or still be on the
+        wire (``_busy``).  Returns a description, or None when sane."""
+        st = self.queue.stats
+        in_service = 1 if self._busy else 0
+        if st.departures != self.packets_sent + in_service:
+            return (f"link accounting: queue departures={st.departures} != "
+                    f"packets_sent={self.packets_sent} + "
+                    f"in_service={in_service}")
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Link {self.name} {self.bandwidth_bps/1e6:.1f}Mbps "

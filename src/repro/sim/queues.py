@@ -22,7 +22,7 @@ class QueueStats:
     """Arrival/drop/occupancy counters for one queue."""
 
     __slots__ = ("arrivals", "departures", "drops", "bytes_in", "bytes_dropped",
-                 "peak_bytes", "peak_packets")
+                 "peak_bytes", "peak_packets", "flushed")
 
     def __init__(self) -> None:
         self.arrivals = 0
@@ -32,6 +32,7 @@ class QueueStats:
         self.bytes_dropped = 0
         self.peak_bytes = 0
         self.peak_packets = 0
+        self.flushed = 0
 
     @property
     def drop_ratio(self) -> float:
@@ -127,6 +128,30 @@ class DropTailQueue:
     def clear(self) -> None:
         self._q.clear()
         self._bytes = 0
+
+    def flush(self) -> int:
+        """Discard every queued packet, *accounting* for the discard (the
+        ``flushed`` counter) so datagram conservation still balances.  Used
+        when a link fails with packets queued.  Returns the packet count."""
+        n = len(self._q)
+        self.stats.flushed += n
+        self._q.clear()
+        self._bytes = 0
+        return n
+
+    def conservation_violation(self) -> str | None:
+        """Datagram conservation at this queue: every arrival must be
+        queued, departed, dropped, or flushed.  Returns a description of
+        the imbalance, or None when the books balance."""
+        st = self.stats
+        accounted = st.departures + st.drops + st.flushed + len(self._q)
+        if st.arrivals != accounted:
+            return (f"queue conservation: arrivals={st.arrivals} != "
+                    f"departures={st.departures} + drops={st.drops} + "
+                    f"flushed={st.flushed} + queued={len(self._q)}")
+        if self._bytes < 0:
+            return f"queued byte count negative ({self._bytes})"
+        return None
 
 
 class REDQueue(DropTailQueue):

@@ -566,6 +566,32 @@ class WindowedSender:
     def completed(self) -> bool:
         return self._completed
 
+    def invariant_violations(self) -> list[str]:
+        """Structural sanity of the send state (see :mod:`repro.invariants`).
+
+        Counter reads only -- never mutates, so checks cannot perturb the
+        run they verify.  Returns descriptions of every violated invariant
+        (empty when sane).
+        """
+        bad: list[str] = []
+        if not (0 <= self.snd_una <= self.snd_nxt):
+            bad.append(f"sequence order: 0 <= snd_una={self.snd_una} "
+                       f"<= snd_nxt={self.snd_nxt} fails")
+        if self.inflight != len(self._window):
+            bad.append(f"inflight accounting: snd_nxt - snd_una = "
+                       f"{self.inflight} but window holds "
+                       f"{len(self._window)} packets")
+        if self.backlog_bytes < 0:
+            bad.append(f"backlog bytes negative ({self.backlog_bytes})")
+        if self._completed and (self._pending or self.snd_una != self.snd_nxt):
+            bad.append(f"completed with work outstanding: "
+                       f"pending={len(self._pending)} "
+                       f"unacked={self.inflight}")
+        cc_bad = self.cc.bounds_violation()
+        if cc_bad is not None:
+            bad.append(cc_bad)
+        return bad
+
 
 class WindowedReceiver:
     """In-order receiver with cumulative ACKs and skip handling.
@@ -630,3 +656,18 @@ class WindowedReceiver:
             # reliable-udp, EACK segment).  TCP Reno runs without it.
             ack.sack = tuple(self.reorder.buffered_seqs()[:self.EACK_LIMIT])
         self.host.send(ack)
+
+    def invariant_violations(self) -> list[str]:
+        """Receive-side sanity (see :mod:`repro.invariants`): the reorder
+        buffer may only hold sequence numbers above the cumulative ACK
+        point.  Counter reads only; returns descriptions (empty = sane)."""
+        bad: list[str] = []
+        rcv_nxt = self.reorder.rcv_nxt
+        if rcv_nxt < 0:
+            bad.append(f"rcv_nxt negative ({rcv_nxt})")
+        if len(self.reorder):
+            low = self.reorder.buffered_seqs()[0]
+            if low <= rcv_nxt:
+                bad.append(f"reorder buffer holds seq {low} at or below "
+                           f"rcv_nxt={rcv_nxt}")
+        return bad

@@ -99,6 +99,15 @@ class CongestionControl(abc.ABC):
     def _clamp(self) -> None:
         self.cwnd = min(max(self.cwnd, self.min_cwnd), self.max_cwnd)
 
+    def bounds_violation(self) -> str | None:
+        """Window-bounds invariant: ``min_cwnd <= cwnd <= max_cwnd`` (with
+        float slack).  Returns a description, or None when within bounds."""
+        eps = 1e-9
+        if not (self.min_cwnd - eps <= self.cwnd <= self.max_cwnd + eps):
+            return (f"cwnd {self.cwnd!r} outside "
+                    f"[{self.min_cwnd!r}, {self.max_cwnd!r}]")
+        return None
+
 
 class RenoCC(CongestionControl):
     """TCP Reno: slow start, congestion avoidance, fast retransmit/recovery.

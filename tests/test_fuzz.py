@@ -1,0 +1,144 @@
+"""Tests for the seeded scenario fuzzer (ISSUE 4 part 3).
+
+The fuzzer's own guarantees under test: the case list is a pure function
+of the seed (CI reproducibility), generated cases stay inside documented
+bounds, the differential oracle actually flags disagreement, and a small
+end-to-end run passes clean.
+"""
+
+from __future__ import annotations
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.fuzz import (FuzzReport, _compare, run_fuzz, sample_config,
+                        sample_faults)
+from repro.runner import config_fingerprint
+from repro.runner.failures import FailedResult
+
+
+# ----------------------------------------------------------------------
+# Generation determinism and bounds
+# ----------------------------------------------------------------------
+def test_case_list_is_pure_function_of_seed():
+    rng_a, rng_b = random.Random(7), random.Random(7)
+    a = [sample_config(rng_a) for _ in range(10)]
+    b = [sample_config(rng_b) for _ in range(10)]
+    assert [config_fingerprint(c) for c in a] == \
+        [config_fingerprint(c) for c in b]
+
+
+def test_different_seeds_generate_different_cases():
+    a = [sample_config(random.Random(1)) for _ in range(10)]
+    b = [sample_config(random.Random(2)) for _ in range(10)]
+    assert [config_fingerprint(c) for c in a] != \
+        [config_fingerprint(c) for c in b]
+
+
+def test_generated_cases_stay_inside_bounds():
+    rng = random.Random(11)
+    saw_faults = saw_adaptation = False
+    for _ in range(60):
+        cfg = sample_config(rng)
+        assert cfg.invariants is True
+        assert 30 <= cfg.n_frames <= 120
+        assert cfg.time_cap <= 30.0
+        if cfg.transport == "tcp":
+            assert cfg.adaptation is None
+        saw_adaptation |= cfg.adaptation is not None
+        saw_faults |= cfg.faults is not None
+        assert config_fingerprint(cfg) is not None  # must be cacheable
+    assert saw_adaptation and saw_faults  # the pools are actually drawn
+
+
+def test_sampled_fault_phases_are_ordered_and_bounded():
+    for seed in range(8):
+        sched = sample_faults(random.Random(seed))
+        prev_stop = 0.0
+        for phase in sched.phases:
+            assert phase.start < phase.stop
+            assert phase.start >= prev_stop  # phases never overlap
+            prev_stop = phase.stop
+        assert prev_stop < 10.0  # well inside the 30s case time cap
+
+
+# ----------------------------------------------------------------------
+# The differential oracle
+# ----------------------------------------------------------------------
+def _result(**summary):
+    return SimpleNamespace(summary=summary)
+
+
+def _failed(kind):
+    f = FailedResult.__new__(FailedResult)
+    f.kind = kind
+    return f
+
+
+def _fresh_report():
+    return FuzzReport(budget=1, seed=0)
+
+
+def test_compare_accepts_equal_summaries():
+    report = _fresh_report()
+    cfg = sample_config(random.Random(0))
+    _compare(report, "t", 0, cfg, _result(x=1.0), _result(x=1.0))
+    assert report.ok
+
+
+def test_compare_flags_summary_divergence():
+    report = _fresh_report()
+    cfg = sample_config(random.Random(0))
+    _compare(report, "jobs differential", 0, cfg,
+             _result(x=1.0, y=2.0), _result(x=1.0, y=3.0))
+    assert not report.ok
+    assert "jobs differential" in report.mismatches[0]
+    assert "'y'" in report.mismatches[0]
+
+
+def test_compare_flags_failure_asymmetry_and_kind_mismatch():
+    report = _fresh_report()
+    cfg = sample_config(random.Random(0))
+    _compare(report, "t", 0, cfg, _failed("error"), _result(x=1))
+    _compare(report, "t", 1, cfg, _failed("error"), _failed("timeout"))
+    assert len(report.mismatches) == 2
+
+
+def test_compare_accepts_matching_failures():
+    report = _fresh_report()
+    cfg = sample_config(random.Random(0))
+    _compare(report, "t", 0, cfg, _failed("error"), _failed("error"))
+    assert report.ok  # agreeing failures are agreement, not a mismatch
+
+
+def test_report_summary_line_verdicts():
+    report = _fresh_report()
+    report.cases_run = 1
+    assert "PASS" in report.summary_line()
+    report.failures.append("case 0: boom")
+    assert "FAIL" in report.summary_line()
+
+
+# ----------------------------------------------------------------------
+# End to end
+# ----------------------------------------------------------------------
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        run_fuzz(budget=0, log=lambda s: None)
+
+
+def test_small_fuzz_run_passes_clean():
+    lines = []
+    report = run_fuzz(budget=3, seed=4, jobs=2, timeout=120.0,
+                      log=lines.append)
+    assert report.ok, "\n".join(lines)
+    assert report.cases_run == 3
+    assert any("pass A" in ln for ln in lines)
+    assert any("PASS" in ln for ln in lines)
+
+
+def test_fuzz_cli_exit_code():
+    from repro.cli import main
+    assert main(["fuzz", "--budget", "1", "--seed", "2"]) == 0

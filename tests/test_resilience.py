@@ -1,0 +1,253 @@
+"""Tests for resilient sweep execution (ISSUE 4 tentpole part 1).
+
+The contract: one insane scenario in a batch becomes one typed
+``FailedResult`` row -- never a dead batch, never a poisoned cache entry,
+never a silently-averaged number.  Hung workers are killed at the
+per-scenario timeout, transient failures (timeout / worker-lost) retry
+with backoff while deterministic crashes do not, and a checkpoint journal
+makes an interrupted sweep resumable with byte-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.experiments.common import ScenarioConfig, ScenarioResult
+from repro.middleware.adaptation import MarkingAdaptation
+from repro.runner import (BatchExecutionError, FailedResult, ResultsCache,
+                          SweepJournal, config_key, run_batch)
+from repro.runner.failures import TRANSIENT_KINDS
+
+
+def _small(**kw) -> ScenarioConfig:
+    base = dict(transport="iq", workload="fixed_clocked", n_frames=40,
+                time_cap=20.0)
+    base.update(kw)
+    return ScenarioConfig(**base)
+
+
+# Module-level adaptation factories: dotted-name fingerprints keep the
+# configs cacheable/journalable, and fork-started workers see them as-is.
+def boom_adaptation():
+    raise RuntimeError("deliberate scenario crash (test fixture)")
+
+
+def hang_adaptation():
+    time.sleep(300)
+
+
+def die_once_adaptation():
+    """Kill the worker hard on first construction; succeed afterwards.
+
+    ``os._exit`` bypasses the supervisor's exception channel entirely, so
+    the parent sees pipe EOF -- the transient ``worker-lost`` kind.
+    """
+    sentinel = os.environ["REPRO_TEST_DIE_ONCE"]
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(3)
+    return MarkingAdaptation()
+
+
+def counting_adaptation():
+    with open(os.environ["REPRO_TEST_RUN_COUNTER"], "a") as fh:
+        fh.write("x\n")
+    return MarkingAdaptation()
+
+
+# ----------------------------------------------------------------------
+# Crash isolation
+# ----------------------------------------------------------------------
+def test_capture_turns_crash_into_failed_result_row():
+    cfgs = [_small(seed=1), _small(seed=2, adaptation=boom_adaptation),
+            _small(seed=3)]
+    out = run_batch(cfgs, jobs=1, cache=False, on_error="capture")
+    assert isinstance(out[0], ScenarioResult)
+    assert isinstance(out[2], ScenarioResult)
+    bad = out[1]
+    assert isinstance(bad, FailedResult)
+    assert bad.failed and not bad.completed
+    assert bad.kind == "error" and not bad.transient
+    assert bad.error_type == "RuntimeError"
+    assert "deliberate scenario crash" in bad.message
+    assert "boom_adaptation" in (bad.traceback or "")
+    assert bad.attempts == 1
+
+
+def test_failed_result_summary_access_raises():
+    [bad] = run_batch([_small(adaptation=boom_adaptation)], jobs=1,
+                      cache=False, on_error="capture")
+    with pytest.raises(BatchExecutionError) as ei:
+        bad.summary
+    assert "deliberate scenario crash" in str(ei.value)
+    assert ei.value.failure is bad
+    with pytest.raises(BatchExecutionError):
+        bad["duration_s"]
+    assert bad.detach() is bad  # detach (pool plumbing) must not raise
+
+
+def test_legacy_raise_path_propagates_original_exception():
+    # No resilience features requested -> historical behaviour unchanged:
+    # the worker's own exception type, not a wrapper.
+    with pytest.raises(RuntimeError, match="deliberate scenario crash"):
+        run_batch([_small(adaptation=boom_adaptation)], jobs=1, cache=False)
+
+
+def test_resilient_raise_path_wraps_with_traceback():
+    with pytest.raises(BatchExecutionError) as ei:
+        run_batch([_small(adaptation=boom_adaptation)], jobs=1,
+                  cache=False, timeout=60.0)
+    assert "boom_adaptation" in str(ei.value)  # worker traceback embedded
+
+
+def test_failed_result_pickles_across_processes():
+    [bad] = run_batch([_small(adaptation=boom_adaptation)], jobs=2,
+                      cache=False, on_error="capture", timeout=60.0)
+    clone = pickle.loads(pickle.dumps(bad))
+    assert clone.kind == bad.kind and clone.message == bad.message
+
+
+# ----------------------------------------------------------------------
+# Timeouts and retries
+# ----------------------------------------------------------------------
+def test_hung_scenario_is_killed_at_timeout():
+    cfgs = [_small(seed=1), _small(seed=2, adaptation=hang_adaptation)]
+    t0 = time.monotonic()
+    out = run_batch(cfgs, jobs=2, cache=False, on_error="capture",
+                    timeout=1.5)
+    elapsed = time.monotonic() - t0
+    assert isinstance(out[0], ScenarioResult)
+    assert isinstance(out[1], FailedResult)
+    assert out[1].kind == "timeout" and out[1].transient
+    assert out[1].elapsed_s >= 1.0
+    assert elapsed < 60  # nowhere near the fixture's 300s sleep
+
+
+def test_worker_lost_is_transient_and_retried(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_DIE_ONCE", str(tmp_path / "died"))
+    cfg = _small(adaptation=die_once_adaptation)
+    store = ResultsCache(tmp_path / "cache")
+    [res] = run_batch([cfg], jobs=1, cache=store, on_error="capture",
+                      timeout=60.0, retries=2, retry_backoff_s=0.01)
+    assert (tmp_path / "died").exists()  # first attempt really died
+    assert isinstance(res, ScenarioResult) and res.completed
+    # Cache-poisoning check: the retried-then-successful scenario stored
+    # exactly one entry, under its own key.
+    entries = list((tmp_path / "cache").glob("*.pkl"))
+    assert len(entries) == 1
+    assert store.get(config_key(cfg), expect=ScenarioResult) is not None
+
+
+def test_worker_lost_without_retries_fails(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_DIE_ONCE", str(tmp_path / "died"))
+    [res] = run_batch([_small(adaptation=die_once_adaptation)], jobs=1,
+                      cache=False, on_error="capture", timeout=60.0)
+    assert isinstance(res, FailedResult)
+    assert res.kind == "worker-lost"
+    assert res.kind in TRANSIENT_KINDS
+    assert res.attempts == 1
+
+
+def test_deterministic_crash_is_not_retried():
+    [bad] = run_batch([_small(adaptation=boom_adaptation)], jobs=1,
+                      cache=False, on_error="capture", timeout=60.0,
+                      retries=3, retry_backoff_s=0.01)
+    assert isinstance(bad, FailedResult)
+    assert bad.kind == "error"
+    assert bad.attempts == 1  # retry budget is for transients only
+
+
+# ----------------------------------------------------------------------
+# Cache poisoning
+# ----------------------------------------------------------------------
+def test_crashed_scenario_never_leaves_a_cache_entry(tmp_path):
+    store = ResultsCache(tmp_path)
+    cfg = _small(adaptation=boom_adaptation)
+    key = config_key(cfg)
+    assert key is not None  # module-level factory => cacheable config
+    [bad] = run_batch([cfg], jobs=1, cache=store, on_error="capture")
+    assert isinstance(bad, FailedResult)
+    assert store.get(key) is None
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+def test_checkpoint_resume_skips_completed_rows(tmp_path, monkeypatch):
+    counter = tmp_path / "runs"
+    monkeypatch.setenv("REPRO_TEST_RUN_COUNTER", str(counter))
+    ckpt = tmp_path / "sweep.ckpt"
+    cfgs = {"a": _small(seed=1, adaptation=counting_adaptation),
+            "b": _small(seed=2, adaptation=counting_adaptation)}
+
+    first = run_batch(cfgs, jobs=1, cache=False, checkpoint=ckpt)
+    assert counter.read_text().count("x") == 2
+    size_after_first = ckpt.stat().st_size
+    assert size_after_first > 0
+
+    again = run_batch(cfgs, jobs=1, cache=False, checkpoint=ckpt)
+    assert counter.read_text().count("x") == 2  # nothing recomputed
+    assert ckpt.stat().st_size == size_after_first  # nothing re-journaled
+    for label in cfgs:
+        assert again[label].summary == first[label].summary
+        assert pickle.dumps(again[label].summary) == \
+            pickle.dumps(first[label].summary)
+
+
+def test_checkpoint_extends_to_superset_batch(tmp_path, monkeypatch):
+    counter = tmp_path / "runs"
+    monkeypatch.setenv("REPRO_TEST_RUN_COUNTER", str(counter))
+    ckpt = tmp_path / "sweep.ckpt"
+    a, b = (_small(seed=1, adaptation=counting_adaptation),
+            _small(seed=2, adaptation=counting_adaptation))
+    run_batch([a], jobs=1, cache=False, checkpoint=ckpt)
+    out = run_batch([a, b], jobs=1, cache=False, checkpoint=ckpt)
+    assert counter.read_text().count("x") == 2  # only b computed fresh
+    assert all(isinstance(r, ScenarioResult) for r in out)
+
+
+def test_journal_truncates_torn_tail(tmp_path):
+    ckpt = tmp_path / "sweep.ckpt"
+    cfg = _small(seed=5)
+    run_batch([cfg], jobs=1, cache=False, checkpoint=ckpt)
+    good_size = ckpt.stat().st_size
+    with open(ckpt, "ab") as fh:
+        fh.write(b"\x80\x05torn-frame-garbage")
+    loaded = SweepJournal(ckpt).load()
+    assert len(loaded) == 1
+    assert ckpt.stat().st_size == good_size  # tail truncated on load
+    key = config_key(cfg)
+    assert isinstance(loaded[key], ScenarioResult)
+
+
+def test_failed_rows_are_not_journaled(tmp_path):
+    ckpt = tmp_path / "sweep.ckpt"
+    cfgs = [_small(seed=1), _small(seed=2, adaptation=boom_adaptation)]
+    out = run_batch(cfgs, jobs=1, cache=False, on_error="capture",
+                    checkpoint=ckpt)
+    assert isinstance(out[1], FailedResult)
+    loaded = SweepJournal(ckpt).load()
+    assert len(loaded) == 1  # only the good row resumes
+    assert all(isinstance(v, ScenarioResult) for v in loaded.values())
+
+
+# ----------------------------------------------------------------------
+# Parallel capture determinism
+# ----------------------------------------------------------------------
+def test_capture_results_identical_across_worker_counts():
+    cfgs = [_small(seed=s) for s in (1, 2, 3)]
+    cfgs.insert(1, _small(seed=9, adaptation=boom_adaptation))
+    serial = run_batch(cfgs, jobs=1, cache=False, on_error="capture")
+    par = run_batch(cfgs, jobs=3, cache=False, on_error="capture",
+                    timeout=120.0)
+    for s, p in zip(serial, par):
+        assert isinstance(s, FailedResult) == isinstance(p, FailedResult)
+        if isinstance(s, FailedResult):
+            assert s.kind == p.kind
+        else:
+            assert s.summary == p.summary

@@ -73,6 +73,15 @@ def test_run_batch_preserves_mapping_order_and_sequence_shape():
     assert isinstance(seq, list) and len(seq) == 1
 
 
+def test_run_batch_rejects_nonpositive_or_nonint_jobs():
+    cfgs = [_small(seed=1)]
+    for bad in (0, -3, True, 2.5, "4"):
+        with pytest.raises(ValueError, match="jobs"):
+            run_batch(cfgs, jobs=bad, cache=False)
+    # jobs=None keeps meaning "serial" for keyword-forwarding callers.
+    assert run_batch(cfgs, jobs=None, cache=False)[0].completed
+
+
 # ----------------------------------------------------------------------
 # Persistent cache
 # ----------------------------------------------------------------------
@@ -119,6 +128,50 @@ def test_env_dir_and_no_cache_opt_out(tmp_path, monkeypatch):
     other = _small(seed=12)
     run_batch([other])
     assert len(list((tmp_path / "envcache").glob("*.pkl"))) == 1  # unchanged
+
+
+def test_cache_get_type_mismatch_is_a_miss(tmp_path):
+    from repro.experiments.common import ScenarioResult
+    store = ResultsCache(tmp_path)
+    key = "k" * 40
+    store.put(key, {"stale": "payload of the wrong shape"})
+    misses_before = store.misses
+    assert store.get(key, expect=ScenarioResult) is None
+    assert store.misses == misses_before + 1
+    assert store.hits == 0
+    # Without the expectation the (corrupt-but-unpicklable) value loads.
+    assert store.get(key) == {"stale": "payload of the wrong shape"}
+
+
+def test_cache_put_oserror_degrades_to_one_warning(tmp_path):
+    import warnings as warnings_mod
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a regular file where the cache dir should go")
+    # mkdir under a regular file raises NotADirectoryError (an OSError)
+    # even for root, unlike permission bits.
+    store = ResultsCache(blocker / "cache")
+    with pytest.warns(RuntimeWarning, match="not writable"):
+        store.put("a" * 40, {"v": 1})
+    with warnings_mod.catch_warnings():
+        warnings_mod.simplefilter("error")  # a second warning would raise
+        store.put("b" * 40, {"v": 2})  # silent no-op: already degraded
+    assert store.get("a" * 40) is None  # nothing was stored
+
+
+def test_unwritable_cache_does_not_kill_the_batch(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("x")
+    store = ResultsCache(blocker / "cache")
+    with pytest.warns(RuntimeWarning, match="not writable"):
+        res = run_batch([_small(seed=21)], cache=store)[0]
+    assert res.completed  # computed fresh, uncached
+
+
+def test_cache_put_unpicklable_payload_still_raises(tmp_path):
+    store = ResultsCache(tmp_path)
+    with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
+        store.put("c" * 40, lambda: None)  # caller bug, not environment
+    assert not list(tmp_path.glob("*.tmp"))  # no litter left behind
 
 
 # ----------------------------------------------------------------------
