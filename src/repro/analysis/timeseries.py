@@ -10,7 +10,45 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["bin_series", "ascii_chart", "running_mean"]
+__all__ = ["bin_series", "ascii_chart", "running_mean", "series_xy",
+           "first_divergence"]
+
+
+def series_xy(series) -> tuple[np.ndarray, np.ndarray]:
+    """(times, means) arrays for a telemetry :class:`~repro.obs.telemetry
+    .Series` -- adapter so the figure benches' charting works on sampled
+    telemetry as well as raw delivery logs.  Empty buckets are dropped."""
+    times, means = [], []
+    for t, m in zip(series.times(), series.means()):
+        if m is not None:
+            times.append(t)
+            means.append(m)
+    return np.asarray(times, dtype=np.float64), np.asarray(means,
+                                                           dtype=np.float64)
+
+
+def first_divergence(a, b, *, eps: float = 0.0) -> dict | None:
+    """First bucket where two telemetry series disagree beyond ``eps``.
+
+    Compares bucket means (missing-on-one-side counts as divergence) after
+    aligning on bucket width; series whose widths differ -- adaptive
+    downsampling merged one further than the other -- are reported as
+    diverged at bucket 0.  Returns ``{"bucket", "time_s", "a", "b"}`` or
+    None when the series agree everywhere.
+    """
+    if a.bucket_s != b.bucket_s:
+        return {"bucket": 0, "time_s": 0.0, "a": f"bucket_s={a.bucket_s}",
+                "b": f"bucket_s={b.bucket_s}"}
+    ma, mb = a.means(), b.means()
+    for i in range(max(len(ma), len(mb))):
+        va = ma[i] if i < len(ma) else None
+        vb = mb[i] if i < len(mb) else None
+        if va is None and vb is None:
+            continue
+        if va is None or vb is None or abs(va - vb) > eps:
+            return {"bucket": i, "time_s": (i + 0.5) * a.bucket_s,
+                    "a": va, "b": vb}
+    return None
 
 
 def running_mean(values: np.ndarray, window: int) -> np.ndarray:

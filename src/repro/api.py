@@ -27,10 +27,11 @@ from typing import Any, Mapping
 from .experiments.common import ScenarioConfig, ScenarioResult
 from .faults import FaultSchedule  # noqa: F401  (re-export: schedules are config)
 from .invariants import InvariantViolation  # noqa: F401  (re-export)
+from .obs.telemetry import TelemetryConfig  # noqa: F401  (re-export: config)
 from .runner.failures import (  # noqa: F401  (re-export: resilient sweeps)
     BatchExecutionError, FailedResult)
 
-__all__ = ["Scenario", "ScenarioResult", "FaultSchedule",
+__all__ = ["Scenario", "ScenarioResult", "FaultSchedule", "TelemetryConfig",
            "FailedResult", "BatchExecutionError", "InvariantViolation",
            "run", "sweep", "load_result"]
 

@@ -13,6 +13,10 @@ Examples
     python -m repro list                   # what's available
     python -m repro scenario --transport iq --workload greedy \
         --cbr 16e6 --frames 4000 --adaptation resolution
+    python -m repro scenario --telemetry 0.1 --save a.pkl   # sampled series
+    python -m repro profile --cbr 16e6     # engine self-profile for one run
+    python -m repro compare a.pkl b.pkl    # run diff (exit 1 on divergence)
+    python -m repro metrics a.pkl          # Prometheus text exposition
 
 The experiment subcommands print the same paper-vs-measured blocks the
 benches write; ``scenario`` runs a one-off configuration (through the
@@ -183,8 +187,9 @@ def _run_dynamics(args) -> str:
     return dynamics.render_dynamics(res)
 
 
-def _run_scenario_cmd(args) -> str:
-    from .api import Scenario, run
+def _build_scenario(args):
+    """One-off scenario from the shared ``scenario``/``profile`` options."""
+    from .api import Scenario
     adaptation = _ADAPTATIONS[args.adaptation]
     scenario = Scenario(
         transport=args.transport, workload=args.workload,
@@ -197,13 +202,63 @@ def _run_scenario_cmd(args) -> str:
     overrides = parse_overrides(args.set)
     if overrides:
         scenario = scenario.replace(**overrides)
+    return scenario
+
+
+def _run_scenario_cmd(args) -> str:
+    from .api import run
+    scenario = _build_scenario(args)
+    if args.telemetry:
+        from .api import TelemetryConfig
+        scenario = scenario.replace(
+            telemetry=TelemetryConfig(cadence_s=args.telemetry))
     # Traced one-off runs always execute fresh (cache=False) so the trace
     # file actually contains the run's event stream.
     res = run(scenario, cache=False if args.trace else None,
               trace=args.trace)
+    if args.save:
+        import pickle
+        with open(args.save, "wb") as fh:
+            pickle.dump(res, fh)
     rows = [(k, round(v, 4)) for k, v in sorted(res.summary.items())]
-    return render_table(("metric", "value"), rows,
-                        title=f"scenario: {args.transport}/{args.workload}")
+    out = render_table(("metric", "value"), rows,
+                       title=f"scenario: {args.transport}/{args.workload}")
+    if args.save:
+        out += (f"\n\nresult saved to {args.save} "
+                f"(inspect with 'repro metrics {args.save}' or diff two "
+                f"saves with 'repro compare A B')")
+    return out
+
+
+def _run_profile_cmd(args) -> str:
+    from .obs.profiler import profile_scenario, render_profile
+    res, profile = profile_scenario(_build_scenario(args).config)
+    if args.json:
+        import json
+        return json.dumps({"summary": res.summary,
+                           "profile": profile.as_dict()},
+                          indent=2, sort_keys=True)
+    return render_profile(profile, top=args.top)
+
+
+def _run_compare_cmd(args) -> int:
+    from .obs.compare import compare_artifacts, render_comparison_report
+    report = compare_artifacts(args.a, args.b, rtol=args.rtol,
+                               atol=args.atol, eps=args.eps)
+    if args.json:
+        import json
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_comparison_report(report, all_rows=args.all))
+    return report.exit_code
+
+
+def _run_metrics_cmd(args) -> str:
+    from .api import load_result
+    res = load_result(args.path)
+    if res.registry is None:
+        raise ValueError(f"{args.path} carries no metrics registry")
+    return res.registry.render_prometheus(prefix=args.prefix)
 
 
 def _run_fuzz_cmd(args) -> int:
@@ -214,10 +269,16 @@ def _run_fuzz_cmd(args) -> int:
 
 
 def _run_report_cmd(args) -> str:
-    from .obs.report import render_report
     types = None
     if args.events:
         types = () if args.events == "all" else tuple(args.events.split(","))
+    if args.json:
+        import json
+        from .obs.report import report_json
+        return json.dumps(report_json(args.path, run=args.run,
+                                      limit=args.limit, types=types),
+                          indent=2, sort_keys=True)
+    from .obs.report import render_report
     return render_report(args.path, run=args.run, limit=args.limit,
                          types=types)
 
@@ -265,26 +326,76 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments")
 
+    def add_scenario_options(sp):
+        sp.add_argument("--transport", choices=TRANSPORTS, default="iq")
+        sp.add_argument("--workload",
+                        choices=("greedy", "trace_clocked", "fixed_clocked"),
+                        default="greedy")
+        sp.add_argument("--adaptation", choices=sorted(_ADAPTATIONS),
+                        default="none")
+        sp.add_argument("--frames", type=int, default=2000)
+        sp.add_argument("--frame-size", type=int, default=1400)
+        sp.add_argument("--frame-rate", type=float, default=10.0)
+        sp.add_argument("--cbr", type=float, default=0.0)
+        sp.add_argument("--vbr", type=float, default=0.0)
+        sp.add_argument("--tolerance", type=float, default=None)
+        sp.add_argument("--rtt", type=float, default=0.030)
+        sp.add_argument("--seed", type=int, default=1)
+        sp.add_argument("--time-cap", type=float, default=600.0)
+        add_set_option(sp)
+
     sc = sub.add_parser("scenario", help="run a custom scenario")
-    sc.add_argument("--transport", choices=TRANSPORTS, default="iq")
-    sc.add_argument("--workload",
-                    choices=("greedy", "trace_clocked", "fixed_clocked"),
-                    default="greedy")
-    sc.add_argument("--adaptation", choices=sorted(_ADAPTATIONS),
-                    default="none")
-    sc.add_argument("--frames", type=int, default=2000)
-    sc.add_argument("--frame-size", type=int, default=1400)
-    sc.add_argument("--frame-rate", type=float, default=10.0)
-    sc.add_argument("--cbr", type=float, default=0.0)
-    sc.add_argument("--vbr", type=float, default=0.0)
-    sc.add_argument("--tolerance", type=float, default=None)
-    sc.add_argument("--rtt", type=float, default=0.030)
-    sc.add_argument("--seed", type=int, default=1)
-    sc.add_argument("--time-cap", type=float, default=600.0)
+    add_scenario_options(sc)
     sc.add_argument("--trace", metavar="PATH", default=None,
                     help="write this run's trace events to PATH (forces a "
                          "fresh, uncached run)")
-    add_set_option(sc)
+    sc.add_argument("--telemetry", type=float, metavar="CADENCE_S",
+                    default=None,
+                    help="sample per-flow/queue/link time series every "
+                         "CADENCE_S sim-seconds (rides in the saved result)")
+    sc.add_argument("--save", metavar="PATH", default=None,
+                    help="pickle the (detached) result to PATH for "
+                         "'repro compare' / 'repro metrics'")
+
+    pf = sub.add_parser(
+        "profile",
+        help="run one scenario on the self-profiling engine and print "
+             "per-callback event counts (deterministic) and wall-time "
+             "attribution (advisory)")
+    add_scenario_options(pf)
+    pf.add_argument("--top", type=int, default=20, metavar="N",
+                    help="show the N busiest callbacks (default 20)")
+    pf.add_argument("--json", action="store_true",
+                    help="emit the profile (and run summary) as JSON")
+
+    cp = sub.add_parser(
+        "compare",
+        help="diff two run artifacts (pickled results from 'scenario "
+             "--save' and/or .jsonl[.gz] traces): summary-metric deltas, "
+             "per-series first divergence, trace event-count deltas. "
+             "Exits 0 when identical within tolerance, 1 when diverged.")
+    cp.add_argument("a", help="baseline artifact")
+    cp.add_argument("b", help="candidate artifact")
+    cp.add_argument("--rtol", type=float, default=0.0,
+                    help="relative tolerance for summary metrics (default 0)")
+    cp.add_argument("--atol", type=float, default=0.0,
+                    help="absolute tolerance for summary metrics (default 0)")
+    cp.add_argument("--eps", type=float, default=0.0,
+                    help="per-bucket tolerance for telemetry series "
+                         "(default 0)")
+    cp.add_argument("--all", action="store_true",
+                    help="show matching rows too, not just divergences")
+    cp.add_argument("--json", action="store_true",
+                    help="emit the structured diff as JSON")
+
+    mt = sub.add_parser(
+        "metrics",
+        help="render a saved result's metrics registry in Prometheus "
+             "text exposition format")
+    mt.add_argument("path", help="pickled result ('scenario --save' or a "
+                                 "results-cache .pkl)")
+    mt.add_argument("--prefix", default="repro_",
+                    help="metric name prefix (default repro_)")
 
     fz = sub.add_parser(
         "fuzz",
@@ -312,6 +423,8 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--events", default=None, metavar="TYPES",
                     help="comma-separated event types for the timeline, or "
                          "'all' (default: the adaptation/coordination set)")
+    rp.add_argument("--json", action="store_true",
+                    help="emit the report (timeline + audit) as JSON")
     return p
 
 
@@ -328,6 +441,12 @@ def main(argv: list[str] | None = None) -> int:
             print(_run_scenario_cmd(args))
         elif args.command == "fuzz":
             return _run_fuzz_cmd(args)
+        elif args.command == "profile":
+            print(_run_profile_cmd(args))
+        elif args.command == "compare":
+            return _run_compare_cmd(args)
+        elif args.command == "metrics":
+            print(_run_metrics_cmd(args), end="")
         elif args.command == "report":
             print(_run_report_cmd(args))
         else:
@@ -336,9 +455,9 @@ def main(argv: list[str] | None = None) -> int:
         # Reports are long; ``repro report ... | head`` is normal usage.
         import os
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    except ValueError as exc:
-        # Config mistakes (bad --set keys/values, unknown schedule names)
-        # are user errors: report them without a traceback.
+    except (ValueError, FileNotFoundError) as exc:
+        # Config mistakes (bad --set keys/values, unknown schedule names,
+        # missing artifact paths) are user errors: no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0

@@ -136,6 +136,10 @@ class IQCoordinator(Coordinator):
         if self._discard_before_stall is None:
             self._discard_before_stall = snd.discard_unmarked
         snd.discard_unmarked = True
+        tm = getattr(snd, "telemetry", None)
+        if tm is not None:
+            tm.annotate(now, "stall_degrade",
+                        restored_policy=self._discard_before_stall)
         tr = getattr(snd, "trace", None)
         if tr is not None and tr.enabled:
             tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
@@ -149,6 +153,10 @@ class IQCoordinator(Coordinator):
         self.stall_recoveries += 1
         snd.discard_unmarked = self._discard_before_stall
         self._discard_before_stall = None
+        tm = getattr(snd, "telemetry", None)
+        if tm is not None:
+            tm.annotate(now, "stall_recover",
+                        discard_unmarked=snd.discard_unmarked)
         tr = getattr(snd, "trace", None)
         if tr is not None and tr.enabled:
             tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
@@ -219,6 +227,15 @@ class IQCoordinator(Coordinator):
                 cwnd_before = snd.cc.cwnd
                 snd.cc.scale_window(factor)
                 self.window_rescales += 1
+                tm = getattr(snd, "telemetry", None)
+                if tm is not None:
+                    # Pin the re-inflation onto the sampled cwnd series so
+                    # the trajectory shows *why* the window jumped.
+                    tm.annotate(snd.sim.now, "window_rescale",
+                                rate_chg=rate_chg, base_factor=base_factor,
+                                drift=drift, factor=factor,
+                                cwnd_before=cwnd_before,
+                                cwnd_after=snd.cc.cwnd)
                 if traced:
                     tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
                             attr_seq=attr_seq, action="window_rescale",

@@ -23,6 +23,7 @@ from ..invariants import CheckedSimulator, InvariantChecker
 from ..middleware.adaptation import AdaptationStrategy, NullAdaptation
 from ..obs.bus import TraceBus
 from ..obs.metrics import MetricsRegistry, collect_scenario_metrics
+from ..obs.telemetry import TelemetryConfig, TelemetryRecorder
 from ..middleware.application import AdaptiveSource
 from ..middleware.receiver import DeliveryLog
 from ..sim.engine import Simulator
@@ -87,7 +88,8 @@ class ScenarioConfig:
                  time_cap: float = 600.0,
                  fixed_window: float = 64.0,
                  faults: FaultSchedule | None = None,
-                 invariants: bool = False):
+                 invariants: bool = False,
+                 telemetry: TelemetryConfig | None = None):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
         if workload not in ("trace_clocked", "greedy", "fixed_clocked"):
@@ -95,6 +97,10 @@ class ScenarioConfig:
         if faults is not None and not isinstance(faults, FaultSchedule):
             raise TypeError(f"faults must be a FaultSchedule or None, "
                             f"got {type(faults).__name__}")
+        if telemetry is not None and not isinstance(telemetry,
+                                                    TelemetryConfig):
+            raise TypeError(f"telemetry must be a TelemetryConfig or None, "
+                            f"got {type(telemetry).__name__}")
         self.transport = transport
         self.workload = workload
         self.adaptation = adaptation
@@ -121,6 +127,7 @@ class ScenarioConfig:
         self.fixed_window = fixed_window
         self.faults = faults
         self.invariants = invariants
+        self.telemetry = telemetry
 
     def replace(self, **kw: Any) -> "ScenarioConfig":
         """Copy with overrides (sweep helper).
@@ -153,6 +160,11 @@ class ScenarioResult:
     failed = False
     #: Invariant sweeps executed (armed runs overwrite per instance).
     invariant_checks = 0
+    #: Sampled time-series payload (:class:`repro.obs.telemetry.Telemetry`);
+    #: populated per instance only when ``ScenarioConfig(telemetry=...)``
+    #: armed the recorder, so disarmed results (and old cached pickles)
+    #: read None from the class.
+    telemetry = None
 
     def __init__(self, *, summary: dict[str, float], log: DeliveryLog,
                  conn, source: AdaptiveSource | None,
@@ -233,7 +245,8 @@ def make_transport(name: str, sim: Simulator, snd_host, rcv_host, *,
     raise ValueError(f"unknown transport {name!r}")
 
 
-def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
+def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
+                 profile=None) -> ScenarioResult:
     """Build and execute one scenario; see module docstring.
 
     ``trace_sink`` (any object with ``append(TraceEvent)``) turns on event
@@ -242,6 +255,12 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
     component caches the live bus.  Tracing is deliberately not part of
     ``ScenarioConfig`` -- it never changes results, so it must not change
     cache keys.
+
+    ``profile`` (an :class:`~repro.obs.profiler.EngineProfile`) swaps in
+    the self-profiling engine and records coarse setup/run/collect phase
+    timers into it.  Like tracing it never changes results and is not part
+    of the config; unlike tracing it cannot combine with armed invariants
+    (both claim the engine run loop by subclassing).
     """
     # Invariant checking (repro.invariants): the checked engine plus a
     # periodic read-only checker.  Armed and disarmed runs produce
@@ -249,7 +268,17 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
     # flag deliberately *is* part of the config (and the cache key): a
     # violation aborts the run, which is a different outcome.
     armed = cfg.invariants or bool(os.environ.get("REPRO_INVARIANTS"))
-    sim = CheckedSimulator() if armed else Simulator()
+    if profile is not None:
+        if armed:
+            raise ValueError(
+                "profiling and armed invariants are mutually exclusive "
+                "(both replace the engine run loop)")
+        from ..obs.profiler import ProfiledSimulator
+        from time import perf_counter
+        sim = ProfiledSimulator(profile)
+        _t_phase = perf_counter()
+    else:
+        sim = CheckedSimulator() if armed else Simulator()
     if trace_sink is not None:
         sim.bus = TraceBus(sim, sinks=[trace_sink])
     streams = RandomStreams(cfg.seed)
@@ -374,12 +403,28 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
             checker.watch_flow(tcp_cross, tcp_cross.cross_log)
         checker.arm()
 
+    # -- telemetry ----------------------------------------------------------
+    recorder = None
+    if cfg.telemetry is not None:
+        recorder = TelemetryRecorder(sim, cfg.telemetry)
+        recorder.watch_flow(conn)
+        recorder.watch_network(net)
+        recorder.arm()
+
     # -- run ----------------------------------------------------------------
+    if profile is not None:
+        now = perf_counter()
+        profile.phase("setup", now - _t_phase)
+        _t_phase = now
     source.start(at=0.0)
     while sim.now < cfg.time_cap and not conn.completed:
         sim.run(until=min(sim.now + 1.0, cfg.time_cap))
     if checker is not None:
         checker.final()
+    if profile is not None:
+        now = perf_counter()
+        profile.phase("run", now - _t_phase)
+        _t_phase = now
 
     summary = flow_summary(
         log, submitted_datagrams=conn.sender.stats.submitted_segments)
@@ -399,4 +444,10 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None) -> ScenarioResult:
         # summaries must stay bit-identical (the differential fuzz oracle
         # compares them).
         res.invariant_checks = checker.checks_run
+    if recorder is not None:
+        # Rides the result through pickling and the cache (the batch
+        # persister strips only ``trace``), so sweeps get series for free.
+        res.telemetry = recorder.data
+    if profile is not None:
+        profile.phase("collect", perf_counter() - _t_phase)
     return res

@@ -32,6 +32,8 @@ from .faults.schedule import (BandwidthRamp, Blackout, BurstyLoss, DelayRamp,
                               FaultSchedule, Jitter, LinkFlap)
 from .middleware.adaptation import (FrequencyAdaptation, MarkingAdaptation,
                                     ResolutionAdaptation)
+from .obs.compare import compare_summaries, compare_telemetry
+from .obs.telemetry import TelemetryConfig
 from .runner import FailedResult, ResultsCache, run_batch
 
 __all__ = ["sample_config", "sample_faults", "run_fuzz", "FuzzReport"]
@@ -117,6 +119,11 @@ def sample_config(rng: random.Random) -> ScenarioConfig:
         kw["tcp_cross_bytes"] = rng.choice((100_000, 400_000))
     if rng.random() < 0.15:
         kw["vbr_mean_bps"] = 1e6
+    if rng.random() < 0.3:
+        # Sampled telemetry rides the differential passes: series must be
+        # identical across jobs=1/N and cache hit/miss like summaries are.
+        kw["telemetry"] = TelemetryConfig(
+            cadence_s=rng.choice((0.05, 0.1)))
     return ScenarioConfig(**kw)
 
 
@@ -168,12 +175,34 @@ def _compare(report: FuzzReport, label: str, i: int, cfg: ScenarioConfig,
                 f"{label}: {_case_label(i, cfg)}: failure kinds differ "
                 f"({ref.kind} vs {other.kind})")
         return
-    if ref.summary != other.summary:
-        diff = [k for k in ref.summary
-                if other.summary.get(k) != ref.summary[k]]
+    # Same diff machinery as ``repro compare`` with zero tolerance: the
+    # fuzz oracle and the user-facing tool cannot disagree about equality.
+    bad = [row["metric"]
+           for row in compare_summaries(ref.summary, other.summary)
+           if not row["within"]]
+    if bad:
         report.mismatches.append(
             f"{label}: {_case_label(i, cfg)}: summaries differ in "
-            f"{diff[:6]}")
+            f"{bad[:6]}")
+    ref_tm = getattr(ref, "telemetry", None)
+    other_tm = getattr(other, "telemetry", None)
+    if (ref_tm is None) != (other_tm is None):
+        report.mismatches.append(
+            f"{label}: {_case_label(i, cfg)}: telemetry present on only "
+            f"one side")
+    elif ref_tm is not None:
+        diverged = [row for row in compare_telemetry(ref_tm, other_tm)
+                    if row["status"] != "identical"]
+        if diverged:
+            first = diverged[0]
+            report.mismatches.append(
+                f"{label}: {_case_label(i, cfg)}: telemetry series "
+                f"{first['series']} {first['status']} "
+                f"({first.get('first_divergence')})")
+        if ref_tm.annotations != other_tm.annotations:
+            report.mismatches.append(
+                f"{label}: {_case_label(i, cfg)}: telemetry annotations "
+                f"differ")
 
 
 def run_fuzz(*, budget: int = 25, seed: int = 4, jobs: int = 2,

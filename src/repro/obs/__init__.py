@@ -20,6 +20,10 @@ package provides the run-level evidence chain:
 * :mod:`.report` -- the ``repro report`` renderers: per-run adaptation
   timeline and the coordination audit pairing every ``ADAPT_*`` attribute
   exchange with the transport action it produced.
+* :mod:`.telemetry` -- sampled per-flow/queue/link time series
+  (``ScenarioConfig(telemetry=...)``) with bounded M4-style downsampling.
+* :mod:`.profiler` -- the engine self-profiler behind ``repro profile``.
+* :mod:`.compare` -- the ``repro compare`` run-diff tooling.
 """
 
 from .bus import NULL_BUS, NullBus, TraceBus
@@ -30,6 +34,12 @@ from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       collect_scenario_metrics)
 from .sinks import JsonlTraceSink, RingBufferSink, read_trace, write_trace
+# Imported after .bus: telemetry reaches repro.invariants, whose checked
+# engine imports repro.sim.engine, which imports .bus -- the order here
+# keeps that cycle resolvable.
+from .compare import ComparisonReport, compare_artifacts
+from .profiler import EngineProfile, ProfiledSimulator, profile_scenario
+from .telemetry import Series, Telemetry, TelemetryConfig, TelemetryRecorder
 
 __all__ = [
     "TraceEvent", "EVENT_TYPES",
@@ -40,4 +50,7 @@ __all__ = [
     "JsonlTraceSink", "RingBufferSink", "write_trace", "read_trace",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "collect_scenario_metrics",
+    "TelemetryConfig", "Telemetry", "TelemetryRecorder", "Series",
+    "EngineProfile", "ProfiledSimulator", "profile_scenario",
+    "ComparisonReport", "compare_artifacts",
 ]

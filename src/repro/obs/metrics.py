@@ -19,10 +19,31 @@ Exact count/sum/min/max are always tracked alongside.
 
 from __future__ import annotations
 
+import re
 from typing import Any
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "collect_scenario_metrics"]
+
+#: Prometheus metric names allow ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    out = _PROM_BAD.sub("_", prefix + name)
+    return "_" + out if out[:1].isdigit() else out
+
+
+def _prom_value(v: float) -> str:
+    """Stable float rendering (no locale, fixed precision) so exposition
+    output is byte-identical across runs -- the golden test depends on it."""
+    if v != v:
+        return "NaN"
+    if v in (float("inf"), float("-inf")):
+        return "+Inf" if v > 0 else "-Inf"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.10g}"
 
 
 class Counter:
@@ -196,6 +217,37 @@ class MetricsRegistry:
             for stat in ("count", "mean", "p50", "p95", "max"):
                 out[f"{prefix}{name}_{stat}"] = stats[stat]
         return out
+
+    def render_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition (version 0.0.4) of every instrument.
+
+        Counters and gauges render as their native types; histograms as
+        summaries (p50/p95 quantile labels plus ``_sum``/``_count``) since
+        the deterministic reservoir keeps samples, not fixed buckets.
+        Output is sorted by instrument class then name and numeric
+        formatting is pinned, so identical registries render
+        byte-identical text -- ``repro metrics`` output can be
+        golden-tested and diffed across runs.
+        """
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            pname = _prom_name(prefix, name)
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_prom_value(self._counters[name].value)}")
+        for name in sorted(self._gauges):
+            pname = _prom_name(prefix, name)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prom_value(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            pname = _prom_name(prefix, name)
+            lines.append(f"# TYPE {pname} summary")
+            for q, label in ((50, "0.5"), (95, "0.95")):
+                lines.append(f'{pname}{{quantile="{label}"}} '
+                             f"{_prom_value(h.percentile(q))}")
+            lines.append(f"{pname}_sum {_prom_value(h.total)}")
+            lines.append(f"{pname}_count {_prom_value(float(h.count))}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
 
 def collect_scenario_metrics(registry: MetricsRegistry, *, conn, net=None,

@@ -27,7 +27,7 @@ from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
 from .sinks import read_trace
 
 __all__ = ["coordination_audit", "render_timeline", "render_report",
-           "TIMELINE_EVENTS"]
+           "report_json", "TIMELINE_EVENTS"]
 
 #: Event types the timeline shows by default -- the two control loops and
 #: their coupling, without the per-packet firehose.
@@ -238,3 +238,41 @@ def render_report(path, *, run: str | None = None, limit: int | None = 60,
             f"(error/invariant) reproduce by re-running the same config; "
             f"transient kinds (timeout/worker-lost) may pass on retry.")
     return "\n".join(parts)
+
+
+def report_json(path, *, run: str | None = None, limit: int | None = None,
+                types: Iterable[str] | None = None) -> dict[str, Any]:
+    """Machine-readable counterpart of :func:`render_report`
+    (``repro report --json``).
+
+    Same selection semantics (``run``/``types``/``limit``); returns a
+    ``json.dump``-able dict: the trace header plus, per run, its metadata,
+    the filtered timeline events and the coordination-audit pairing --
+    attribute exchanges with their actions, plus the unmatched/spontaneous
+    buckets -- as flat event dicts straight from the trace file.
+    """
+    header, runs = read_trace(path)
+    if run is not None:
+        runs = [r for r in runs if str(r["run"]) == str(run)]
+        if not runs:
+            raise ValueError(f"run {run!r} not found in {path}")
+    wanted = TIMELINE_EVENTS if types is None else (frozenset(types) or None)
+    out_runs = []
+    for entry in runs:
+        events = entry["events"]
+        picked = [ev for ev in events
+                  if wanted is None or ev.get("event") in wanted]
+        if limit is not None and len(picked) > limit:
+            picked = picked[-limit:]
+        out_runs.append({
+            "run": entry["run"],
+            "cached": entry["cached"],
+            "meta": entry.get("meta") or {},
+            "events_total": len(events),
+            "timeline": picked,
+            "audit": coordination_audit(events),
+        })
+    return {"path": str(path),
+            "format": header.get("format"),
+            "version": header.get("version"),
+            "runs": out_runs}

@@ -24,6 +24,9 @@ Environment knobs:
 ``REPRO_NO_CACHE=1``
     Disable the persistent cache entirely (compute everything fresh,
     write nothing).
+``REPRO_PROGRESS=1`` / ``=0``
+    Force the sweep progress line (stderr) on or off; default is on only
+    when stderr is a terminal.  See :mod:`.progress`.
 
 Resilient execution (PR 4) rides on :func:`run_batch`'s keywords:
 ``on_error="capture"`` isolates per-scenario crashes as
@@ -38,10 +41,11 @@ from .checkpoint import SweepJournal
 from .failures import BatchExecutionError, FailedResult
 from .hashing import code_salt, config_fingerprint, config_key
 from .pool import run_batch, run_one
+from .progress import SweepProgress
 
 __all__ = [
     "ResultsCache", "cache_enabled", "default_cache", "memo",
     "code_salt", "config_fingerprint", "config_key",
-    "run_batch", "run_one",
+    "run_batch", "run_one", "SweepProgress",
     "FailedResult", "BatchExecutionError", "SweepJournal",
 ]

@@ -46,6 +46,7 @@ from .cache import ResultsCache, cache_enabled, default_cache
 from .checkpoint import SweepJournal
 from .failures import BatchExecutionError, FailedResult
 from .hashing import config_key
+from .progress import SweepProgress
 from .supervisor import classify_exception, describe_config, run_supervised
 
 __all__ = ["run_batch", "run_one"]
@@ -244,6 +245,7 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
             res.trace = events
 
     interrupted = False
+    progress = SweepProgress(len(cfgs), cached=len(cfgs) - len(misses))
     try:
         if misses and not resilient:
             # Legacy fast path: byte-for-byte the pre-resilience behaviour
@@ -252,9 +254,15 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
             if jobs > 1 and len(todo) > 1:
                 with ProcessPoolExecutor(
                         max_workers=min(jobs, len(todo))) as ex:
-                    fresh = list(ex.map(worker, todo))
+                    fresh = []
+                    for res in ex.map(worker, todo):
+                        fresh.append(res)
+                        progress.update()
             else:
-                fresh = [worker(cfg) for cfg in todo]
+                fresh = []
+                for cfg in todo:
+                    fresh.append(worker(cfg))
+                    progress.update()
             for i, res in zip(misses, fresh):
                 results[i] = res
                 _persist(i, res)
@@ -266,9 +274,11 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
                     res = _capture_inprocess(cfgs[i], worker)
                     results[i] = res
                     _persist(i, res)
+                    progress.update(failed=isinstance(res, FailedResult))
             else:
                 def _on_result(i: int, res: Any) -> None:
                     _persist(i, res)
+                    progress.update(failed=isinstance(res, FailedResult))
 
                 got, interrupted = run_supervised(
                     [(i, cfgs[i]) for i in misses], worker, jobs=jobs,
@@ -277,6 +287,7 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
                 for i in misses:
                     results[i] = got.get(i)
     finally:
+        progress.finish()
         if journal is not None:
             journal.close()
 

@@ -41,7 +41,21 @@ from typing import Any, Callable, Iterator
 
 from ..obs.bus import NULL_BUS
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimulationError", "callback_label"]
+
+
+def callback_label(fn: Callable[..., Any]) -> str:
+    """Stable human-readable label for a scheduled callback.
+
+    Bound methods and functions report their ``__qualname__``
+    (``WindowedSender._metric_tick``); callable objects fall back to their
+    type name.  Pure function of the callable -- the self-profiler keys
+    event counts on it, and those counts must be config-deterministic.
+    """
+    label = getattr(fn, "__qualname__", None)
+    if label is None:
+        label = type(fn).__name__
+    return label
 
 #: Compaction floor: heaps smaller than this are never compacted (the
 #: rebuild would cost more than the dead entries do).
@@ -100,8 +114,7 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self._alive else "dead"
-        name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<Event t={self.time:.6f} {name} {state}>"
+        return f"<Event t={self.time:.6f} {callback_label(self.fn)} {state}>"
 
 
 class Simulator:

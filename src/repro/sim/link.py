@@ -252,6 +252,14 @@ class Link:
             raise ValueError("propagation delay cannot be negative")
         self.delay_s = delay_s
 
+    def telemetry_probe(self) -> dict[str, float]:
+        """Read-only wire counters for the telemetry recorder (cumulative;
+        the recorder differences successive probes for utilisation)."""
+        return {"bytes_sent": float(self.bytes_sent),
+                "packets_sent": float(self.packets_sent),
+                "packets_lost_wire": float(self.packets_lost_wire),
+                "up": 1.0 if self.up else 0.0}
+
     def accounting_violation(self) -> str | None:
         """Wire accounting at this link: every queue departure must either
         have finished serialising (``packets_sent``) or still be on the

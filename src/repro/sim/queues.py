@@ -139,6 +139,11 @@ class DropTailQueue:
         self._bytes = 0
         return n
 
+    def telemetry_probe(self) -> dict[str, float]:
+        """Read-only occupancy/drop snapshot for the telemetry recorder."""
+        return {"pkts": float(len(self._q)), "bytes": float(self._bytes),
+                "drops": float(self.stats.drops)}
+
     def conservation_violation(self) -> str | None:
         """Datagram conservation at this queue: every arrival must be
         queued, departed, dropped, or flushed.  Returns a description of

@@ -100,6 +100,13 @@ class WindowedSender:
         degradation.  0 (the default) disables stall detection.
     """
 
+    #: Telemetry payload reference (:class:`repro.obs.telemetry.Telemetry`)
+    #: set by an armed :class:`~repro.obs.telemetry.TelemetryRecorder`; a
+    #: class attribute so the disarmed path never allocates or writes
+    #: anything -- consumers pay one ``is None`` check, and only on cold
+    #: paths (coordination actions), never per packet.
+    telemetry = None
+
     def __init__(self, sim: Simulator, host: Host, *, port: int,
                  peer_addr: int, peer_port: int, cc: CongestionControl,
                  mss: int = 1400,
@@ -277,6 +284,17 @@ class WindowedSender:
     def stalled(self) -> bool:
         """True while stall detection believes the path is dead."""
         return self._stalled
+
+    def telemetry_probe(self) -> dict[str, float]:
+        """Read-only snapshot of the send-side state the telemetry
+        recorder samples each cadence tick.  Pure reads -- probing must
+        never perturb the run it observes."""
+        probe = self.cc.telemetry_probe()
+        probe["flightsize"] = float(self.inflight)
+        probe["srtt_s"] = self.rtt.rtt
+        probe["rto_s"] = self.rtt.rto
+        probe["loss_ratio"] = self.metrics.lifetime_error_ratio
+        return probe
 
     # ------------------------------------------------------------------
     # Transmission

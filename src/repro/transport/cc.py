@@ -99,6 +99,11 @@ class CongestionControl(abc.ABC):
     def _clamp(self) -> None:
         self.cwnd = min(max(self.cwnd, self.min_cwnd), self.max_cwnd)
 
+    def telemetry_probe(self) -> dict[str, float]:
+        """Read-only window state for the telemetry recorder; laws with
+        more state (see :class:`~repro.transport.lda.LdaCC`) extend it."""
+        return {"cwnd": self.cwnd}
+
     def bounds_violation(self) -> str | None:
         """Window-bounds invariant: ``min_cwnd <= cwnd <= max_cwnd`` (with
         float slack).  Returns a description, or None when within bounds."""

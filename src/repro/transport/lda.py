@@ -103,6 +103,12 @@ class LdaCC(CongestionControl):
         # precisely the "smoother" reaction the paper contrasts with TCP.
         self.ssthresh = min(self.ssthresh, self.cwnd)
 
+    def telemetry_probe(self) -> dict[str, float]:
+        probe = super().telemetry_probe()
+        probe["epochs"] = float(self.epochs)
+        probe["loss_epochs"] = float(self.loss_epochs)
+        return probe
+
     def on_timeout(self, inflight: int) -> None:
         # A timeout means the ACK clock stalled -- collapse and re-enter the
         # doubling ramp toward half the old window (slow-start analogue), so

@@ -138,3 +138,84 @@ def test_scenario_summary_carries_obs_metrics():
     assert "obs_bottleneck_drops" in res.summary
     clone = pickle.loads(pickle.dumps(res))
     assert clone.summary == res.summary
+
+
+class TestPrometheusRendering:
+    def test_golden_exposition_text(self):
+        # Byte-exact golden: render_prometheus pins ordering and number
+        # formatting precisely so this test (and diff-based tooling) works.
+        reg = MetricsRegistry()
+        reg.counter("packets sent").inc(5)
+        reg.gauge("cwnd").set(12.5)
+        h = reg.histogram("rtt_s")
+        for x in (0.01, 0.03, 0.05):
+            h.add(x)
+        expected = (
+            "# TYPE repro_packets_sent counter\n"
+            "repro_packets_sent 5\n"
+            "# TYPE repro_cwnd gauge\n"
+            "repro_cwnd 12.5\n"
+            "# TYPE repro_rtt_s summary\n"
+            'repro_rtt_s{quantile="0.5"} 0.03\n'
+            'repro_rtt_s{quantile="0.95"} 0.05\n'
+            "repro_rtt_s_sum 0.09\n"
+            "repro_rtt_s_count 3\n"
+        )
+        assert reg.render_prometheus() == expected
+
+    def test_name_sanitisation_and_prefix(self):
+        from repro.obs.metrics import _prom_name
+        assert _prom_name("repro_", "queue.fwd-drops") == \
+            "repro_queue_fwd_drops"
+        assert _prom_name("", "9lives") == "_9lives"
+
+    def test_value_formatting_edges(self):
+        from repro.obs.metrics import _prom_value
+        assert _prom_value(float("nan")) == "NaN"
+        assert _prom_value(float("inf")) == "+Inf"
+        assert _prom_value(float("-inf")) == "-Inf"
+        assert _prom_value(3.0) == "3"
+        assert _prom_value(0.1234567890123) == "0.123456789"
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_render_is_deterministic_across_insert_order(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name in order:
+                reg.counter(name).inc(2)
+            return reg.render_prometheus()
+        assert build(["b", "a"]) == build(["a", "b"])
+
+
+class TestMetricsCli:
+    def test_metrics_command_renders_scenario_registry(self, tmp_path,
+                                                       capsys):
+        import pickle
+        from repro.cli import main
+        from repro.experiments.common import ScenarioConfig, run_scenario
+        res = run_scenario(ScenarioConfig(transport="iq", workload="greedy",
+                                          n_frames=100,
+                                          time_cap=60.0)).detach()
+        path = tmp_path / "res.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(res, fh)
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_packets_sent counter" in out
+        assert out == res.registry.render_prometheus()
+
+    def test_metrics_command_missing_registry_is_user_error(self, tmp_path,
+                                                            capsys):
+        import pickle
+        from repro.cli import main
+        from repro.experiments.common import ScenarioResult
+        bare = ScenarioResult(summary={}, log=[], conn=None, source=None,
+                              strategy=None, net=None, sim=None,
+                              completed=0)
+        path = tmp_path / "bare.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(bare, fh)
+        assert main(["metrics", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

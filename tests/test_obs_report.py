@@ -209,3 +209,53 @@ def test_report_cli(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "Trace report" in out and "Coordination audit" in out
+
+
+def test_report_json_matches_render_selection(tmp_path):
+    import json
+    from repro.experiments.common import ScenarioConfig
+    from repro.middleware.adaptation import ResolutionAdaptation
+    from repro.obs.report import report_json
+    from repro.runner import run_batch
+
+    path = tmp_path / "rep.jsonl"
+    cfg = ScenarioConfig(transport="iq", workload="greedy", n_frames=2000,
+                         base_frame_size=700, cbr_bps=17.5e6,
+                         vbr_mean_bps=1e6, metric_period=0.1,
+                         adaptation=lambda: ResolutionAdaptation(
+                             upper=0.05, lower=0.005),
+                         seed=2, time_cap=120.0)
+    run_batch({"a": cfg}, cache=False, trace=str(path))
+    data = report_json(path)
+    json.dumps(data)  # must be JSON-clean
+    assert data["format"] == "repro-trace"
+    (run,) = data["runs"]
+    assert run["run"] == "a"
+    assert run["events_total"] > len(run["timeline"])  # firehose filtered
+    assert {"pairs", "unmatched_attrs", "spontaneous",
+            "unmatched_actions"} == set(run["audit"])
+    # limit keeps the tail, types widens the filter
+    limited = report_json(path, limit=3)
+    assert len(limited["runs"][0]["timeline"]) == 3
+    assert limited["runs"][0]["timeline"] == run["timeline"][-3:]
+    everything = report_json(path, types=())
+    assert len(everything["runs"][0]["timeline"]) == run["events_total"]
+    with pytest.raises(ValueError):
+        report_json(path, run="nope")
+
+
+def test_report_cli_json(tmp_path, capsys):
+    import json
+    from repro.cli import main
+
+    path = tmp_path / "cli.jsonl"
+    rc = main(["scenario", "--transport", "iq", "--workload", "greedy",
+               "--frames", "300", "--frame-size", "700", "--cbr", "17.5e6",
+               "--time-cap", "60", "--trace", str(path)])
+    assert rc == 0
+    capsys.readouterr()  # drop the scenario table
+    rc = main(["report", str(path), "--json", "--limit", "5"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["format"] == "repro-trace"
+    assert len(data["runs"][0]["timeline"]) <= 5
