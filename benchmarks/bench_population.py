@@ -1,0 +1,55 @@
+"""Population-scale wall-clock budget: 1,000 concurrent flows under 60 s.
+
+The two-level speed tier exists so the harness can run population studies
+(ROADMAP: thousands of concurrent adaptive sessions) on a laptop: every
+foreground flow is a real windowed transport on burst-coalescing links
+(:mod:`repro.sim.batch`), the background aggregate is a tick-coupled
+:class:`~repro.sim.fluid.FluidSource`.  This bench runs the default
+:func:`~repro.experiments.population.run_population` scenario -- 1,000
+flows, mixed iq/rudp/tcp, 50 Mbps fluid cross traffic on a 200 Mbps
+bottleneck -- and gates:
+
+* the hard ISSUE budget, ``wall_s`` < 60 on a 1-core host (also enforced
+  as a ``wall_s_max`` ceiling in ``perf_baseline.json``);
+* throughput floors ``flows_per_s`` / ``datagrams_per_s`` via
+  ``check_regression.py``;
+* scenario sanity: every flow completes, and the summary is a pure
+  function of the seed (two runs, identical summaries).
+"""
+
+import time
+
+from repro.experiments.population import run_population
+
+#: Hard wall-clock budget from the ISSUE acceptance criteria (seconds).
+WALL_BUDGET_S = 60.0
+
+
+def bench_population_scale(benchmark, perf_record):
+    """1,000-flow population run: wall budget + determinism + floors."""
+    t0 = time.perf_counter()
+    res = run_population()
+    wall_s = time.perf_counter() - t0
+
+    s = res.summary
+    assert s["completion_ratio"] == 1.0, (
+        f"only {s['completed']:.0f}/{s['flows']:.0f} flows completed "
+        f"within the {s['duration_s']:.0f}s time cap")
+    assert wall_s < WALL_BUDGET_S, (
+        f"1k-flow population took {wall_s:.1f}s wall "
+        f"(budget {WALL_BUDGET_S:.0f}s)")
+
+    # Determinism: the summary must be a pure function of the arguments.
+    res2 = run_population()
+    assert res2.summary == s, "population summary is not deterministic"
+
+    perf_record("bench_population",
+                wall_s=round(wall_s, 3),
+                flows_per_s=s["flows"] / wall_s,
+                datagrams_per_s=s["datagrams"] / wall_s,
+                flows=s["flows"],
+                completed=s["completed"],
+                duration_s=round(s["duration_s"], 3),
+                events=s["events"],
+                fairness=round(s["fairness"], 4))
+    benchmark.pedantic(run_population, rounds=1, iterations=1)

@@ -13,6 +13,8 @@ threshold below baseline, or when a metric gated by a ``*_max`` ceiling
 key exceeds it (e.g. baseline ``disabled_overhead_pct_max: 3.0`` fails
 the run if current ``disabled_overhead_pct`` > 3.0 -- ceilings are
 absolute budgets, not ratios, so ``--threshold`` does not apply).
+Benches annotated ``"skipped": true`` on either side (e.g.
+``parallel_batch`` on a single-core host) are exempt entirely.
 Wall-clock metrics (``*_s``) and metadata are reported but never gate:
 they depend on batch composition and host load far more than the
 per-event rates do.
@@ -46,6 +48,13 @@ def compare(current: dict, baseline: dict, threshold: float
     for bench, base_fields in sorted(baseline.items()):
         cur_fields = current.get(bench)
         if not isinstance(base_fields, dict):
+            continue
+        # A bench may annotate itself out of the comparison (e.g.
+        # parallel_batch on a single-core host records "skipped": true);
+        # a skip on either side exempts the whole bench.
+        if base_fields.get("skipped") or (
+                isinstance(cur_fields, dict) and cur_fields.get("skipped")):
+            lines.append(f"  {bench}: skipped")
             continue
         for metric, base_val in sorted(base_fields.items()):
             if not isinstance(base_val, (int, float)):

@@ -14,6 +14,7 @@ Examples
     python -m repro scenario --transport iq --workload greedy \
         --cbr 16e6 --frames 4000 --adaptation resolution
     python -m repro scenario --telemetry 0.1 --save a.pkl   # sampled series
+    python -m repro population --flows 1000  # burst/fluid population run
     python -m repro profile --cbr 16e6     # engine self-profile for one run
     python -m repro compare a.pkl b.pkl    # run diff (exit 1 on divergence)
     python -m repro metrics a.pkl          # Prometheus text exposition
@@ -230,6 +231,20 @@ def _run_scenario_cmd(args) -> str:
     return out
 
 
+def _run_population_cmd(args) -> str:
+    from .analysis.tables import render_table as _rt
+    from .experiments.population import run_population
+    res = run_population(
+        n_flows=args.flows, frames_per_flow=args.frames,
+        frame_bytes=args.frame_size, bottleneck_bps=args.bottleneck,
+        fluid_bps=args.fluid, rtt_s=args.rtt, seed=args.seed,
+        arrival_window_s=args.window, time_cap=args.time_cap,
+        burst=not args.no_burst)
+    rows = [(k, round(v, 4)) for k, v in sorted(res.summary.items())]
+    return _rt(("metric", "value"), rows,
+               title=f"population: {args.flows} flows")
+
+
 def _run_profile_cmd(args) -> str:
     from .obs.profiler import profile_scenario, render_profile
     res, profile = profile_scenario(_build_scenario(args).config)
@@ -357,6 +372,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pickle the (detached) result to PATH for "
                          "'repro compare' / 'repro metrics'")
 
+    pp = sub.add_parser(
+        "population",
+        help="run a population scenario on the burst/fluid speed tier: "
+             "many concurrent foreground transports with fluid aggregate "
+             "cross traffic (see EXPERIMENTS.md, 'Scale tiers')")
+    pp.add_argument("--flows", type=int, default=1000, metavar="N",
+                    help="concurrent foreground flows (default 1000)")
+    pp.add_argument("--frames", type=int, default=40, metavar="N",
+                    help="frames submitted per flow (default 40)")
+    pp.add_argument("--frame-size", type=int, default=1400)
+    pp.add_argument("--bottleneck", type=float, default=200e6, metavar="BPS",
+                    help="bottleneck rate in bps (default 200e6)")
+    pp.add_argument("--fluid", type=float, default=50e6, metavar="BPS",
+                    help="fluid background aggregate rate in bps; 0 "
+                         "disables the macro tier (default 50e6)")
+    pp.add_argument("--rtt", type=float, default=0.030)
+    pp.add_argument("--window", type=float, default=2.0, metavar="S",
+                    help="flow arrival window in seconds (default 2.0)")
+    pp.add_argument("--time-cap", type=float, default=60.0)
+    pp.add_argument("--seed", type=int, default=1)
+    pp.add_argument("--no-burst", action="store_true",
+                    help="run on per-packet links instead of the burst "
+                         "tier (bit-identical results, ~10x slower)")
+
     pf = sub.add_parser(
         "profile",
         help="run one scenario on the self-profiling engine and print "
@@ -434,11 +473,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "list":
             print("experiments:", ", ".join(EXPERIMENTS))
             print("dynamics scenarios:", ", ".join(dynamics.SCENARIOS))
-            print("plus: scenario (custom runs; see --help)")
+            print("plus: scenario (custom runs), population "
+                  "(burst/fluid scale tier); see --help")
         elif args.command == "dynamics":
             print(_run_dynamics(args))
         elif args.command == "scenario":
             print(_run_scenario_cmd(args))
+        elif args.command == "population":
+            print(_run_population_cmd(args))
         elif args.command == "fuzz":
             return _run_fuzz_cmd(args)
         elif args.command == "profile":

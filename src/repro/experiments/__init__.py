@@ -15,9 +15,16 @@ Table 6   :mod:`.overreaction`        :func:`.overreaction.run_table6`
 Fig 4     :mod:`.overreaction`        :func:`.overreaction.figure4_improvements`
 Table 7   :mod:`.granularity`         :func:`.granularity.run_table7`
 Table 8   :mod:`.granularity`         :func:`.granularity.run_table8`
+--        :mod:`.population`          :func:`.population.run_population`
 ========  ==========================  ==============================
+
+The population scenario family is an extension beyond the paper's tables:
+1k+ concurrent flows on the burst/fluid speed tier (see EXPERIMENTS.md,
+"Scale tiers").
 """
 
 from .common import TRANSPORTS, ScenarioConfig, ScenarioResult, run_scenario
+from .population import PopulationResult, run_population
 
-__all__ = ["TRANSPORTS", "ScenarioConfig", "ScenarioResult", "run_scenario"]
+__all__ = ["TRANSPORTS", "ScenarioConfig", "ScenarioResult", "run_scenario",
+           "PopulationResult", "run_population"]

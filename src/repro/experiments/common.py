@@ -27,6 +27,7 @@ from ..obs.telemetry import TelemetryConfig, TelemetryRecorder
 from ..middleware.application import AdaptiveSource
 from ..middleware.receiver import DeliveryLog
 from ..sim.engine import Simulator
+from ..sim.fluid import FluidSource
 from ..sim.rand import RandomStreams
 from ..sim.topology import PAPER_BOTTLENECK_BPS, PAPER_RTT_S, Dumbbell
 from ..traffic.bulk import BulkSource
@@ -89,7 +90,9 @@ class ScenarioConfig:
                  fixed_window: float = 64.0,
                  faults: FaultSchedule | None = None,
                  invariants: bool = False,
-                 telemetry: TelemetryConfig | None = None):
+                 telemetry: TelemetryConfig | None = None,
+                 burst: bool = False,
+                 fluid_bps: float = 0.0):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
         if workload not in ("trace_clocked", "greedy", "fixed_clocked"):
@@ -101,6 +104,8 @@ class ScenarioConfig:
                                                     TelemetryConfig):
             raise TypeError(f"telemetry must be a TelemetryConfig or None, "
                             f"got {type(telemetry).__name__}")
+        if fluid_bps < 0:
+            raise ValueError("fluid_bps must be non-negative")
         self.transport = transport
         self.workload = workload
         self.adaptation = adaptation
@@ -128,6 +133,16 @@ class ScenarioConfig:
         self.faults = faults
         self.invariants = invariants
         self.telemetry = telemetry
+        # Speed tiers (repro.sim.batch / repro.sim.fluid).  ``burst``
+        # coalesces the link hot path with bit-identical results; it is
+        # part of the config (and the cache key) purely for transparency --
+        # burst and per-packet runs of the same scenario produce the same
+        # summary (enforced by tests and the fuzzer's burst differential).
+        # ``fluid_bps`` adds fluid background traffic on the forward
+        # bottleneck; unlike ``burst`` it is a *model* choice and changes
+        # results vs per-packet cross traffic.
+        self.burst = bool(burst)
+        self.fluid_bps = float(fluid_bps)
 
     def replace(self, **kw: Any) -> "ScenarioConfig":
         """Copy with overrides (sweep helper).
@@ -165,6 +180,10 @@ class ScenarioResult:
     #: armed the recorder, so disarmed results (and old cached pickles)
     #: read None from the class.
     telemetry = None
+    #: The scenario's :class:`~repro.sim.fluid.FluidSource` (fluid
+    #: background traffic), when ``ScenarioConfig(fluid_bps=...)`` armed
+    #: one; class-level None keeps old cached pickles readable.
+    fluid = None
 
     def __init__(self, *, summary: dict[str, float], log: DeliveryLog,
                  conn, source: AdaptiveSource | None,
@@ -281,6 +300,12 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
         sim = CheckedSimulator() if armed else Simulator()
     if trace_sink is not None:
         sim.bus = TraceBus(sim, sinks=[trace_sink])
+    # Burst speed tier: the Dumbbell reads this flag and builds BatchLink
+    # everywhere.  REPRO_BURST is a process-wide opt-in (like
+    # REPRO_INVARIANTS); safe outside the config key because burst runs
+    # are bit-identical to per-packet runs.
+    if cfg.burst or bool(os.environ.get("REPRO_BURST")):
+        sim.burst = True
     streams = RandomStreams(cfg.seed)
     net = Dumbbell(sim, bottleneck_bps=cfg.bottleneck_bps, rtt_s=cfg.rtt_s,
                    mss=cfg.mss, queue_pkts=cfg.queue_pkts)
@@ -380,6 +405,12 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
             sim.schedule(period_s / 2.0, _toggle, not high)
 
         sim.schedule(period_s / 2.0, _toggle, True)
+    fluid = None
+    if cfg.fluid_bps > 0:
+        # Macro-tier background traffic: no per-packet cost, same mean
+        # congestion pressure (see repro.sim.fluid).
+        fluid = FluidSource(sim, net.forward, rate_bps=cfg.fluid_bps,
+                            start=cfg.cbr_start)
     tcp_cross = None
     if cfg.tcp_cross_bytes is not None:
         t_snd, t_rcv = net.add_flow_hosts("tcpx")
@@ -439,6 +470,8 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
                          strategy=strategy, net=net, sim=sim,
                          completed=conn.completed, tcp_cross=tcp_cross,
                          registry=registry, injector=injector)
+    if fluid is not None:
+        res.fluid = fluid
     if checker is not None:
         # Deliberately an attribute, not a summary key: armed and disarmed
         # summaries must stay bit-identical (the differential fuzz oracle

@@ -116,7 +116,8 @@ class Series:
         """Fold one sample taken at simulation time ``t`` into its bucket."""
         value = float(value)
         idx = int(t / self.bucket_s)
-        while idx >= self.maxlen:
+        maxlen = self.maxlen
+        while idx >= maxlen:
             self._halve()
             idx = int(t / self.bucket_s)
         buckets = self._buckets
@@ -265,6 +266,9 @@ class TelemetryRecorder:
         # (prefix, link, mutable delta state)
         self._links: list[tuple[str, Any, dict[str, float]]] = []
         self._armed = False
+        # Pre-resolved (probe, bound Series.add, ...) rows, built lazily on
+        # the first tick -- see _bind().  Registration invalidates it.
+        self._bound: tuple[list, list, list] | None = None
 
     # ------------------------------------------------------------------
     def watch_flow(self, conn, *, prefix: str = "flow") -> None:
@@ -279,6 +283,7 @@ class TelemetryRecorder:
         sender.telemetry = self.data
         self._flows.append((prefix, sender, receiver,
                             {"delivered_bytes": 0.0}))
+        self._bound = None
 
     def watch_network(self, net) -> None:
         """Sample the dumbbell's bottleneck queues and link utilisation."""
@@ -286,6 +291,7 @@ class TelemetryRecorder:
             self._queues.append((f"queue.{link.name}", link.queue))
             self._links.append((f"link.{link.name}", link,
                                 {"bytes_sent": 0.0}))
+        self._bound = None
 
     def arm(self) -> None:
         if self._armed:
@@ -295,36 +301,70 @@ class TelemetryRecorder:
                           priority=TELEMETRY_PRIORITY)
 
     # ------------------------------------------------------------------
+    def _bind(self) -> tuple[list, list, list]:
+        """Pre-resolve every probe and every series' bound ``add``.
+
+        The per-sample cost of ``_tick`` was dominated by rebuilding series
+        names (f-strings) and re-walking ``data.series`` for every sample of
+        every tick; each (subject, series) pair is fixed for the life of the
+        run, so resolve them once.  Built lazily on the *first* tick -- not
+        at arm time -- so a run with zero ticks still creates no series
+        (same lazy-series behaviour as before).
+        """
+        get = self.data.get_series
+        flows = [(sender.telemetry_probe,
+                  get(f"{prefix}.cwnd").add,
+                  get(f"{prefix}.flightsize").add,
+                  get(f"{prefix}.srtt_s").add,
+                  get(f"{prefix}.rto_s").add,
+                  get(f"{prefix}.loss_ratio").add,
+                  None if receiver is None else receiver.stats,
+                  None if receiver is None
+                  else get(f"{prefix}.goodput_bps").add,
+                  state)
+                 for prefix, sender, receiver, state in self._flows]
+        queues = [(queue.telemetry_probe,
+                   get(f"{prefix}.pkts").add,
+                   get(f"{prefix}.bytes").add,
+                   get(f"{prefix}.drops").add)
+                  for prefix, queue in self._queues]
+        links = [(link.telemetry_probe,
+                  get(f"{prefix}.util").add,
+                  link, state)
+                 for prefix, link, state in self._links]
+        return flows, queues, links
+
     def _tick(self) -> None:
         data = self.data
         data.ticks += 1
         now = self.sim.now
         cadence = self.config.cadence_s
-        for prefix, sender, receiver, state in self._flows:
-            probe = sender.telemetry_probe()
-            data.get_series(f"{prefix}.cwnd").add(now, probe["cwnd"])
-            data.get_series(f"{prefix}.flightsize").add(
-                now, probe["flightsize"])
-            data.get_series(f"{prefix}.srtt_s").add(now, probe["srtt_s"])
-            data.get_series(f"{prefix}.rto_s").add(now, probe["rto_s"])
-            data.get_series(f"{prefix}.loss_ratio").add(
-                now, probe["loss_ratio"])
-            if receiver is not None:
-                total = float(receiver.stats.delivered_bytes)
+        bound = self._bound
+        if bound is None:
+            bound = self._bound = self._bind()
+        flows, queues, links = bound
+        for (probe_fn, add_cwnd, add_flight, add_srtt, add_rto, add_loss,
+             rstats, add_goodput, state) in flows:
+            probe = probe_fn()
+            add_cwnd(now, probe["cwnd"])
+            add_flight(now, probe["flightsize"])
+            add_srtt(now, probe["srtt_s"])
+            add_rto(now, probe["rto_s"])
+            add_loss(now, probe["loss_ratio"])
+            if rstats is not None:
+                total = float(rstats.delivered_bytes)
                 delta = total - state["delivered_bytes"]
                 state["delivered_bytes"] = total
-                data.get_series(f"{prefix}.goodput_bps").add(
-                    now, delta * 8.0 / cadence)
-        for prefix, queue in self._queues:
-            probe = queue.telemetry_probe()
-            data.get_series(f"{prefix}.pkts").add(now, probe["pkts"])
-            data.get_series(f"{prefix}.bytes").add(now, probe["bytes"])
-            data.get_series(f"{prefix}.drops").add(now, probe["drops"])
-        for prefix, link, state in self._links:
-            probe = link.telemetry_probe()
+                add_goodput(now, delta * 8.0 / cadence)
+        for probe_fn, add_pkts, add_bytes, add_drops in queues:
+            probe = probe_fn()
+            add_pkts(now, probe["pkts"])
+            add_bytes(now, probe["bytes"])
+            add_drops(now, probe["drops"])
+        for probe_fn, add_util, link, state in links:
+            probe = probe_fn()
             total = float(probe["bytes_sent"])
             delta = total - state["bytes_sent"]
             state["bytes_sent"] = total
-            util = delta * 8.0 / (cadence * link.bandwidth_bps)
-            data.get_series(f"{prefix}.util").add(now, util)
+            add_util(now, delta * 8.0 / (cadence * link.bandwidth_bps))
         self.sim.schedule(cadence, self._tick, priority=TELEMETRY_PRIORITY)

@@ -185,30 +185,63 @@ class Link:
             self._start_transmission()
         return True
 
+    def send_burst(self, pkts: "list[Packet]") -> int:
+        """Offer a back-to-back burst; returns the number accepted.
+
+        Exactly equivalent to calling :meth:`send` per packet -- the only
+        shortcut is the queue's bulk enqueue, and the transmitter is
+        kicked once instead of per packet.  Down links and traced runs
+        degrade to the per-packet path so drop accounting and trace
+        events stay identical.
+        """
+        if not self.up or self.trace.enabled:
+            ok = 0
+            send = self.send
+            for p in pkts:
+                ok += send(p)
+            return ok
+        ok = 0
+        if not self._busy and pkts:
+            # The head packet starts serialising immediately (vacating its
+            # queue slot before the rest arrive), exactly as under
+            # per-packet send -- this keeps overflow drops identical.
+            ok += self.send(pkts[0])
+            pkts = pkts[1:]
+        return ok + self.queue.push_all(pkts)
+
     # ------------------------------------------------------------------
     def _start_transmission(self) -> None:
         pkt = self.queue.pop()
         self._busy = True
         self.sim.schedule(self.tx_time(pkt), self._tx_done, pkt)
 
-    def _tx_done(self, pkt: Packet) -> None:
+    def _finish_tx(self, pkt: Packet) -> None:
+        """Account one packet leaving the serialiser at the current instant
+        and hand it to propagation (or the wire-loss drop path).  Shared by
+        the per-packet chain here and the coalesced chain in
+        :class:`repro.sim.batch.BatchLink`."""
         self.bytes_sent += pkt.wire_size
         self.packets_sent += 1
         if self.up and not self.loss.drops(pkt):
-            # Propagation: deliver after the flight time.  priority=-1 makes
-            # arrivals at an instant precede timers at the same instant.
             delay = self.delay_s
             jit = self.jitter
             if jit is not None:
                 delay += jit.extra()
-            self.sim.schedule(delay, self.sink.receive, pkt,
-                              priority=-1)
+            self._deliver(pkt, delay)
         else:
             self.packets_lost_wire += 1
             tr = self.trace
             if tr.enabled:
                 tr.emit("net", PACKET_DROP, link=self.name, kind="wire",
                         flow=pkt.flow_id, pkt=pkt.seq, size=pkt.wire_size)
+
+    def _deliver(self, pkt: Packet, delay: float) -> None:
+        # Propagation: deliver after the flight time.  priority=-1 makes
+        # arrivals at an instant precede timers at the same instant.
+        self.sim.schedule(delay, self.sink.receive, pkt, priority=-1)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self._finish_tx(pkt)
         if not self.queue.empty:
             self._start_transmission()
         else:

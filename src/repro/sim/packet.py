@@ -44,9 +44,10 @@ class Packet:
     """
 
     __slots__ = (
-        "flow_id", "kind", "seq", "ack", "size", "src", "dst", "sport",
-        "dport", "created_at", "sent_at", "marked", "tagged", "frame_id",
-        "retransmit", "attrs", "ecn", "sack", "skip", "last_of_frame",
+        "flow_id", "kind", "seq", "ack", "size", "wire_size", "src", "dst",
+        "sport", "dport", "created_at", "sent_at", "marked", "tagged",
+        "frame_id", "retransmit", "attrs", "ecn", "sack", "skip",
+        "last_of_frame",
     )
 
     _ids = 0
@@ -62,6 +63,11 @@ class Packet:
         self.seq = seq
         self.ack = ack
         self.size = size
+        # Precomputed slot, not a property: links/queues read it several
+        # times per packet and the attribute saves a descriptor call each
+        # time.  The rare code that rewrites ``size`` after construction
+        # (the skip-segment path in transport/base.py) must keep it in sync.
+        self.wire_size = size + HEADER_BYTES
         self.src = src
         self.dst = dst
         self.sport = sport
@@ -82,11 +88,6 @@ class Packet:
         # True on the final segment of an application frame; lets the
         # receiver time frame completions for inter-arrival metrics.
         self.last_of_frame = True
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes occupied on a link, including header overhead."""
-        return self.size + HEADER_BYTES
 
     @property
     def is_data(self) -> bool:

@@ -16,6 +16,7 @@ the path RTT and loss behaviour, exactly as on the emulated testbed.
 
 from __future__ import annotations
 
+from .batch import BatchLink
 from .engine import Simulator
 from .link import Link
 from .node import Host, Router
@@ -53,12 +54,19 @@ class Dumbbell:
         one_way = max(rtt_s / 2.0 - 2 * self.ACCESS_DELAY_S, 0.0)
         qbytes = queue_pkts * (mss + 40)
 
+        # Burst speed tier (repro.sim.batch): scenarios arm it by setting
+        # ``sim.burst = True`` before building topology; every link then
+        # coalesces back-to-back packets with bit-identical results.
+        self._link_cls = BatchLink if getattr(sim, "burst", False) else Link
+
         self.left = Router(sim, address=1, name="L")
         self.right = Router(sim, address=2, name="R")
-        self.forward = Link(sim, bottleneck_bps, one_way, self.right,
-                            queue_bytes=qbytes, name="bottleneck-fwd")
-        self.backward = Link(sim, bottleneck_bps, one_way, self.left,
-                             queue_bytes=qbytes, name="bottleneck-bwd")
+        self.forward = self._link_cls(
+            sim, bottleneck_bps, one_way, self.right,
+            queue_bytes=qbytes, name="bottleneck-fwd")
+        self.backward = self._link_cls(
+            sim, bottleneck_bps, one_way, self.left,
+            queue_bytes=qbytes, name="bottleneck-bwd")
         self._next_addr = 10
         self._hosts: list[Host] = []
 
@@ -73,14 +81,15 @@ class Dumbbell:
         receiver = Host(self.sim, self._next_addr + 1, name=f"{name}-rcv")
         self._next_addr += 2
 
-        up = Link(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S, self.left,
-                  name=f"{sender.name}-up")
-        down = Link(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S, receiver,
-                    name=f"{receiver.name}-down")
-        r_up = Link(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S, self.right,
-                    name=f"{receiver.name}-up")
-        s_down = Link(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S, sender,
-                      name=f"{sender.name}-down")
+        link_cls = self._link_cls
+        up = link_cls(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S,
+                      self.left, name=f"{sender.name}-up")
+        down = link_cls(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S,
+                        receiver, name=f"{receiver.name}-down")
+        r_up = link_cls(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S,
+                        self.right, name=f"{receiver.name}-up")
+        s_down = link_cls(self.sim, self.ACCESS_BPS, self.ACCESS_DELAY_S,
+                          sender, name=f"{sender.name}-down")
 
         sender.attach_uplink(up)
         receiver.attach_uplink(r_up)

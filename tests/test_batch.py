@@ -1,0 +1,290 @@
+"""Burst speed tier (repro.sim.batch): bit-identity and mechanics.
+
+The tier's one contract is that it changes *nothing observable*: summaries,
+telemetry series, trace event streams and raw arrival instants must match
+the per-packet path bit for bit.  These tests enforce that across every
+transport, under a fault schedule, and at the raw link level for the pure
+and numpy array variants; plus unit coverage for the engine/queue/transport
+plumbing the tier rides on (``next_event_key``, ``_inline_until``,
+``pop_all``/``push_all``, ``send_burst``, ``submit_burst``,
+``receive_burst``).
+"""
+
+from math import inf
+
+import pytest
+
+from repro.experiments.common import TRANSPORTS, ScenarioConfig, run_scenario
+from repro.faults.schedule import Blackout, BurstyLoss, FaultSchedule, Jitter
+from repro.middleware.receiver import DeliveryLog
+from repro.obs.sinks import RingBufferSink
+from repro.obs.telemetry import TelemetryConfig
+from repro.sim.batch import BatchLink, load_numpy
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import Dumbbell
+from repro.transport.rudp import RudpConnection
+from repro.transport.udp import UdpSink
+
+
+# ---------------------------------------------------------------------------
+# Scenario-level bit-identity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_burst_summary_identical_per_transport(transport):
+    cfg = ScenarioConfig(transport=transport, workload="greedy",
+                         n_frames=150, cbr_bps=6e6, time_cap=60.0,
+                         telemetry=TelemetryConfig(cadence_s=0.1))
+    plain = run_scenario(cfg)
+    burst = run_scenario(cfg.replace(burst=True))
+    assert burst.summary == plain.summary
+    assert burst.telemetry.as_dict() == plain.telemetry.as_dict()
+
+
+def test_burst_identical_under_faults():
+    faults = FaultSchedule(
+        BurstyLoss(start=1.0, stop=4.0, p_gb=0.02, p_bg=0.3),
+        Blackout(start=5.0, stop=5.4),
+        Jitter(start=6.0, stop=9.0, max_extra_s=0.01, p=0.3))
+    cfg = ScenarioConfig(transport="iq", workload="greedy", n_frames=200,
+                         faults=faults, time_cap=60.0, invariants=True)
+    plain = run_scenario(cfg)
+    burst = run_scenario(cfg.replace(burst=True))
+    assert burst.summary == plain.summary
+
+
+def test_burst_trace_identical():
+    """Traced runs disable the array fast path but keep inline coalescing;
+    every emitted event (type, time, payload) must still match."""
+    cfg = ScenarioConfig(transport="iq", workload="greedy", n_frames=80,
+                         cbr_bps=10e6, queue_pkts=16, time_cap=60.0)
+    a, b = RingBufferSink(capacity=100_000), RingBufferSink(capacity=100_000)
+    plain = run_scenario(cfg, trace_sink=a)
+    burst = run_scenario(cfg.replace(burst=True), trace_sink=b)
+    assert burst.summary == plain.summary
+    assert len(a.events) == len(b.events)
+    assert [repr(e) for e in a.events] == [repr(e) for e in b.events]
+
+
+def test_repro_burst_env_opt_in(monkeypatch):
+    cfg = ScenarioConfig(transport="rudp", workload="greedy", n_frames=60,
+                         time_cap=60.0)
+    plain = run_scenario(cfg)
+    monkeypatch.setenv("REPRO_BURST", "1")
+    env = run_scenario(cfg)
+    assert env.summary == plain.summary
+
+
+# ---------------------------------------------------------------------------
+# Link-level bit-identity (pure vs numpy vs per-packet)
+# ---------------------------------------------------------------------------
+
+class _RecordingSink:
+    """Terminal sink recording exact (seq, arrival time) pairs."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.got = []
+
+    def receive(self, pkt):
+        self.got.append((pkt.seq, self.sim.now))
+
+
+class _RecordingBurstSink(_RecordingSink):
+    def receive_burst(self, pkts, times):
+        self.got.extend((p.seq, t) for p, t in zip(pkts, times))
+
+
+def _blast(link_cls, sink_cls, *, accel=None, burst_send=False,
+           queue_bytes=10**9, n=300):
+    sim = Simulator()
+    sink = sink_cls(sim)
+    kw = {"queue_bytes": queue_bytes}
+    if accel is not None:
+        kw["accel"] = accel
+    link = link_cls(sim, 10e6, 0.005, sink, **kw)
+    pkts = [Packet(flow_id=1, seq=i, size=1000 + (i % 7) * 50)
+            for i in range(n)]
+    if burst_send:
+        sim.at(0.0, link.send_burst, pkts)
+    else:
+        def feed():
+            for p in pkts:
+                link.send(p)
+        sim.at(0.0, feed)
+    sim.run()
+    st = link.queue.stats
+    return (sink.got, link.bytes_sent, link.packets_sent, st.arrivals,
+            st.drops, st.peak_bytes, st.peak_packets, st.bytes_in)
+
+
+@pytest.mark.parametrize("queue_bytes", [10**9, 6000])
+def test_link_blast_bit_identical(queue_bytes):
+    ref = _blast(Link, _RecordingSink, queue_bytes=queue_bytes)
+    variants = [
+        _blast(Link, _RecordingSink, burst_send=True,
+               queue_bytes=queue_bytes),
+        _blast(BatchLink, _RecordingSink, accel="",
+               queue_bytes=queue_bytes),          # inline coalescing only
+        _blast(BatchLink, _RecordingBurstSink, accel="", burst_send=True,
+               queue_bytes=queue_bytes),          # pure array fast path
+    ]
+    if load_numpy() is not None:
+        variants.append(
+            _blast(BatchLink, _RecordingBurstSink, accel="numpy",
+                   burst_send=True, queue_bytes=queue_bytes))
+    for got in variants:
+        assert got == ref
+
+
+def test_bulk_path_engages():
+    """The array fast path must actually run (it once guarded itself
+    unreachable), and still produce identical arrivals."""
+    calls = []
+    orig = BatchLink._tx_burst
+
+    def spy(self):
+        taken = orig(self)
+        calls.append(taken)
+        return taken
+
+    BatchLink._tx_burst = spy
+    try:
+        got = _blast(BatchLink, _RecordingBurstSink, accel="",
+                     burst_send=True)
+    finally:
+        BatchLink._tx_burst = orig
+    assert any(calls), "bulk fast path never engaged"
+    assert got == _blast(Link, _RecordingSink)
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing
+# ---------------------------------------------------------------------------
+
+def test_next_event_key_skips_dead_entries():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None, priority=-1)
+    assert sim.next_event_key() == (1.0, 0)
+    ev.cancel()
+    assert sim.next_event_key() == (2.0, -1)
+
+
+def test_next_event_key_empty():
+    assert Simulator().next_event_key() is None
+
+
+def test_inline_until_spans_run_modes():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(sim._inline_until))
+    sim.run(until=5.0)
+    assert seen == [5.0]
+    assert sim._inline_until == -inf  # reset after run()
+
+    sim2 = Simulator()
+    seen2 = []
+    sim2.schedule(1.0, lambda: seen2.append(sim2._inline_until))
+    sim2.run(max_events=1)
+    assert seen2 == [-inf]  # stepped runs keep per-event cadence
+
+    sim3 = Simulator()
+    seen3 = []
+    sim3.schedule(1.0, lambda: seen3.append(sim3._inline_until))
+    sim3.run()
+    assert seen3 == [inf]  # unbounded drain
+
+
+# ---------------------------------------------------------------------------
+# Queue bulk ops
+# ---------------------------------------------------------------------------
+
+def test_pop_all_matches_repeated_pop():
+    a, b = DropTailQueue(10**6), DropTailQueue(10**6)
+    pkts = [Packet(flow_id=1, seq=i, size=100 * (i + 1)) for i in range(10)]
+    for q in (a, b):
+        for p in pkts:
+            assert q.push(p)
+    singles = [a.pop() for _ in range(len(a))]
+    bulk = b.pop_all()
+    assert bulk == singles
+    assert (a.bytes, a.stats.departures) == (b.bytes, b.stats.departures)
+    assert b.conservation_violation() is None
+
+
+def test_push_all_matches_repeated_push_on_overflow():
+    cap = 5 * Packet(flow_id=1, size=1400).wire_size
+    a, b = DropTailQueue(cap), DropTailQueue(cap)
+    dropped_a, dropped_b = [], []
+    a.on_drop = dropped_a.append
+    b.on_drop = dropped_b.append
+    pkts = [Packet(flow_id=1, seq=i, size=1400) for i in range(9)]
+    accepted_a = sum(a.push(p) for p in pkts)
+    accepted_b = b.push_all(pkts)
+    assert accepted_b == accepted_a
+    assert [p.seq for p in dropped_b] == [p.seq for p in dropped_a]
+    for attr in ("arrivals", "drops", "bytes_in", "bytes_dropped",
+                 "peak_bytes", "peak_packets"):
+        assert getattr(b.stats, attr) == getattr(a.stats, attr)
+
+
+# ---------------------------------------------------------------------------
+# Transport burst submit + sink burst receive
+# ---------------------------------------------------------------------------
+
+def _transfer(submit_burst: bool, n=40):
+    sim = Simulator()
+    net = Dumbbell(sim)
+    snd, rcv = net.add_flow_hosts("b")
+    log = DeliveryLog()
+    conn = RudpConnection(sim, snd, rcv, on_deliver=log.on_deliver)
+    if submit_burst:
+        conn.sender.submit_burst([1400] * n, first_frame_id=0)
+    else:
+        for i in range(n):
+            conn.submit(1400, frame_id=i)
+    conn.finish()
+    sim.run(until=60.0)
+    assert conn.completed
+    return len(log), conn.sender.stats.submitted_segments, \
+        conn.sender.stats.submitted_msgs, sim.now
+
+
+def test_submit_burst_equivalent_to_repeated_submit():
+    assert _transfer(True) == _transfer(False)
+
+
+def test_submit_burst_rejects_bad_input():
+    sim = Simulator()
+    net = Dumbbell(sim)
+    snd, rcv = net.add_flow_hosts("x")
+    conn = RudpConnection(sim, snd, rcv)
+    with pytest.raises(ValueError):
+        conn.sender.submit_burst([1400, 0])
+    conn.finish()
+    sim.run(until=60.0)
+    with pytest.raises(RuntimeError):
+        conn.sender.submit_burst([1400])
+
+
+def test_udp_sink_receive_burst_matches_per_packet():
+    sim = Simulator()
+    net = Dumbbell(sim)
+    _, rcv = net.add_flow_hosts("u")
+    delivered = []
+    a = UdpSink(sim, rcv, port=9, flow_id=1,
+                on_deliver=lambda p, t: delivered.append((p.seq, t)))
+    pkts = [Packet(flow_id=1, seq=i, size=500) for i in range(6)]
+    pkts.append(Packet(flow_id=2, seq=99, size=500))  # filtered out
+    a.receive_burst(pkts, [0.1 * (i + 1) for i in range(7)])
+    b = UdpSink(sim, rcv, port=10, flow_id=1)
+    for p in pkts:
+        b.receive(p)
+    assert a.packets_received == b.packets_received == 6
+    assert a.bytes_received == b.bytes_received
+    assert a.highest_seq == b.highest_seq == 5
+    assert delivered == [(i, 0.1 * (i + 1)) for i in range(6)]
