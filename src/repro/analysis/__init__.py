@@ -1,5 +1,7 @@
 """Metric computation and result presentation."""
 
+from .lineage import (decision_chain, frame_accounting,
+                      render_frame_lineage, render_lineage)
 from .stats import flow_summary, improvement, interarrival_stats
 from .tables import fmt, render_comparison, render_table
 from .timeseries import ascii_chart, bin_series, running_mean
@@ -8,4 +10,6 @@ __all__ = [
     "flow_summary", "improvement", "interarrival_stats",
     "fmt", "render_comparison", "render_table",
     "ascii_chart", "bin_series", "running_mean",
+    "frame_accounting", "decision_chain", "render_lineage",
+    "render_frame_lineage",
 ]

@@ -18,6 +18,9 @@ Examples
     python -m repro profile --cbr 16e6     # engine self-profile for one run
     python -m repro compare a.pkl b.pkl    # run diff (exit 1 on divergence)
     python -m repro metrics a.pkl          # Prometheus text exposition
+    python -m repro lineage --transport iq --workload trace_clocked \
+        --adaptation marking --cbr 18.5e6 --tolerance 0.4   # causal chain
+    python -m repro forensics failed.pkl   # last-moments flight timeline
 
 The experiment subcommands print the same paper-vs-measured blocks the
 benches write; ``scenario`` runs a one-off configuration (through the
@@ -280,7 +283,119 @@ def _run_fuzz_cmd(args) -> int:
     from .fuzz import run_fuzz
     report = run_fuzz(budget=args.budget, seed=args.seed, jobs=args.jobs,
                       timeout=args.timeout)
+    if args.forensics:
+        import json
+        with open(args.forensics, "w") as fh:
+            json.dump({"summary": report.summary_line(),
+                       "failures": report.failures,
+                       "mismatches": report.mismatches,
+                       "forensics": report.forensics}, fh, indent=2)
+        print(f"[fuzz] forensics written to {args.forensics} "
+              f"({len(report.forensics)} record(s)); view with "
+              f"'repro forensics {args.forensics}'")
     return 0 if report.ok else 1
+
+
+def _run_lineage_cmd(args) -> str:
+    from .analysis.lineage import render_frame_lineage, render_lineage
+    if args.load:
+        import pickle
+        with open(args.load, "rb") as fh:
+            res = pickle.load(fh)
+        spans = getattr(res, "spans", None)
+        if spans is None:
+            raise ValueError(
+                f"{args.load} carries no lineage spans; save it from a "
+                f"run with spans armed (repro lineage ... --save PATH, or "
+                f"ScenarioConfig(spans=True))")
+    else:
+        from .api import run
+        scenario = _build_scenario(args).replace(spans=True)
+        res = run(scenario)
+        spans = res.spans
+    if args.save:
+        import pickle
+        with open(args.save, "wb") as fh:
+            pickle.dump(res, fh)
+    if args.json:
+        import json
+        return json.dumps(spans, indent=2, sort_keys=True)
+    if args.frame is not None:
+        return render_frame_lineage(spans, args.frame)
+    return render_lineage(spans, limit=args.limit)
+
+
+def _render_forensics_record(rec, limit) -> str:
+    from .obs.flight import render_flight
+    parts = [f"== {rec.get('label', '?')}: {rec.get('case', '?')}"]
+    for m in rec.get("mismatches", ()):
+        parts.append(f"   {m}")
+    div = rec.get("first_divergence")
+    if div is not None:
+        parts.append(f"   first divergence at event #{div} "
+                     f"(marked >> below)")
+    parts.append("-- reference run --")
+    parts.append(render_flight(rec.get("ref_flight"), mark_id=div,
+                               limit=limit))
+    if rec.get("other_flight") is not None:
+        parts.append("-- re-run --")
+        parts.append(render_flight(rec.get("other_flight"), mark_id=div,
+                                   limit=limit))
+    return "\n".join(parts)
+
+
+def _run_forensics_cmd(args) -> str:
+    """Render the last-moments timeline of a failure artifact: a pickled
+    ScenarioResult/FailedResult, or a ``repro fuzz --forensics`` JSON."""
+    from .analysis.lineage import render_lineage
+    from .obs.flight import render_flight
+    if args.path.endswith(".json"):
+        import json
+        with open(args.path) as fh:
+            payload = json.load(fh)
+        records = payload.get("forensics", [])
+        parts = [f"fuzz forensics: {len(records)} record(s)"]
+        summary = payload.get("summary")
+        if summary:
+            parts.append(summary)
+        for rec in records:
+            parts.append("")
+            parts.append(_render_forensics_record(rec, args.limit))
+        return "\n".join(parts)
+    import pickle
+
+    from .experiments.common import ScenarioResult
+    from .runner import FailedResult
+    with open(args.path, "rb") as fh:
+        res = pickle.load(fh)
+    if not isinstance(res, (ScenarioResult, FailedResult)):
+        raise ValueError(
+            f"{args.path} holds {type(res).__name__}, not a "
+            f"ScenarioResult/FailedResult (save one with --save, or point "
+            f"at a 'repro fuzz --forensics' JSON)")
+    flight = getattr(res, "flight", None)
+    parts = []
+    if getattr(res, "failed", False):
+        parts.append(f"forensics: FAILED scenario "
+                     f"[{res.kind}{f'/{res.error_type}' if res.error_type else ''}]"
+                     f" {res.scenario}")
+        if res.message:
+            parts.append(f"  {res.message.strip().splitlines()[0]}")
+    else:
+        parts.append(f"forensics: completed={getattr(res, 'completed', '?')}"
+                     f" scenario result {args.path}")
+    parts.append("")
+    parts.append(render_flight(flight, limit=args.limit))
+    spans = getattr(res, "spans", None)
+    if spans is not None:
+        parts.append("")
+        parts.append(render_lineage(spans, limit=args.limit))
+    tb = getattr(res, "traceback", "")
+    if tb:
+        parts.append("")
+        parts.append("--- worker traceback ---")
+        parts.append(tb.rstrip())
+    return "\n".join(parts)
 
 
 def _run_report_cmd(args) -> str:
@@ -450,6 +565,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker count for the parallel differential pass")
     fz.add_argument("--timeout", type=float, default=120.0, metavar="S",
                     help="per-case wall-clock budget in seconds")
+    fz.add_argument("--forensics", metavar="PATH", default=None,
+                    help="write a JSON forensics file on completion: one "
+                         "record per failure/mismatch with both sides' "
+                         "flight-recorder dumps and the first-divergence "
+                         "event id (view with 'repro forensics PATH')")
+
+    ln = sub.add_parser(
+        "lineage",
+        help="run one scenario with causal frame-lineage spans armed and "
+             "render the decision chain (attribute exchange -> "
+             "coordination action) plus per-frame outcomes and latency "
+             "decomposition")
+    add_scenario_options(ln)
+    ln.add_argument("--frame", type=int, default=None, metavar="N",
+                    help="show the segment-level story of frame N instead "
+                         "of the full report")
+    ln.add_argument("--limit", type=int, default=20, metavar="N",
+                    help="frame-table rows to show (non-delivered frames "
+                         "always shown; default 20)")
+    ln.add_argument("--json", action="store_true",
+                    help="emit the raw lineage artifact as JSON")
+    ln.add_argument("--load", metavar="PATH", default=None,
+                    help="render lineage from a saved result pickle "
+                         "instead of running a scenario")
+    ln.add_argument("--save", metavar="PATH", default=None,
+                    help="pickle the (detached) result to PATH")
+
+    fo = sub.add_parser(
+        "forensics",
+        help="render the last-moments flight-recorder timeline of a "
+             "failure artifact: a pickled ScenarioResult/FailedResult, or "
+             "a 'repro fuzz --forensics' JSON file")
+    fo.add_argument("path", help="pickled result or fuzz forensics JSON")
+    fo.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="show at most the newest N flight events")
 
     rp = sub.add_parser("report",
                         help="render timeline + coordination audit for a "
@@ -483,6 +633,10 @@ def main(argv: list[str] | None = None) -> int:
             print(_run_population_cmd(args))
         elif args.command == "fuzz":
             return _run_fuzz_cmd(args)
+        elif args.command == "lineage":
+            print(_run_lineage_cmd(args))
+        elif args.command == "forensics":
+            print(_run_forensics_cmd(args))
         elif args.command == "profile":
             print(_run_profile_cmd(args))
         elif args.command == "compare":

@@ -136,6 +136,15 @@ class IQCoordinator(Coordinator):
         if self._discard_before_stall is None:
             self._discard_before_stall = snd.discard_unmarked
         snd.discard_unmarked = True
+        sp = getattr(snd, "spans", None)
+        if sp is not None:
+            sp.on_action(None, "stall_degrade",
+                         restored_policy=self._discard_before_stall)
+        fl = getattr(snd, "flight", None)
+        if fl is not None:
+            fl.note("coord", "ACTION", flow=snd.flow_id,
+                    action="stall_degrade",
+                    restored_policy=self._discard_before_stall)
         tm = getattr(snd, "telemetry", None)
         if tm is not None:
             tm.annotate(now, "stall_degrade",
@@ -153,6 +162,15 @@ class IQCoordinator(Coordinator):
         self.stall_recoveries += 1
         snd.discard_unmarked = self._discard_before_stall
         self._discard_before_stall = None
+        sp = getattr(snd, "spans", None)
+        if sp is not None:
+            sp.on_action(None, "stall_recover",
+                         discard_unmarked=snd.discard_unmarked)
+        fl = getattr(snd, "flight", None)
+        if fl is not None:
+            fl.note("coord", "ACTION", flow=snd.flow_id,
+                    action="stall_recover",
+                    discard_unmarked=snd.discard_unmarked)
         tm = getattr(snd, "telemetry", None)
         if tm is not None:
             tm.annotate(now, "stall_recover",
@@ -178,11 +196,25 @@ class IQCoordinator(Coordinator):
             attr_seq = tr.emit("coord", ATTR_RECEIVED, flow=snd.flow_id,
                                attrs=attrs.as_dict())
 
+        # Lineage/forensics: open a coordination episode for the exchange;
+        # every action below pairs with it (the span analogue of attr_seq).
+        sp = getattr(snd, "spans", None)
+        episode = sp.on_attrs(attrs.as_dict()) if sp is not None else None
+        fl = getattr(snd, "flight", None)
+        if fl is not None:
+            fl.note("coord", "ATTR", flow=snd.flow_id,
+                    attrs=attrs.as_dict())
+
         when = attrs.get(ADAPT_WHEN)
         if when == "pending":
             # The application will adapt later (limited granularity).  The
             # transport keeps adapting on its own; nothing to change now.
             self.pending_adaptations += 1
+            if sp is not None:
+                sp.on_action(episode, "pending")
+            if fl is not None:
+                fl.note("coord", "ACTION", flow=snd.flow_id,
+                        action="pending")
             if traced:
                 tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
                         attr_seq=attr_seq, action="pending")
@@ -195,6 +227,13 @@ class IQCoordinator(Coordinator):
             if changed:
                 self.discard_switches += 1
             snd.discard_unmarked = want
+            if sp is not None:
+                sp.on_action(episode, "discard", enabled=want,
+                             changed=changed, unmark_p=p)
+            if fl is not None:
+                fl.note("coord", "ACTION", flow=snd.flow_id,
+                        action="discard", enabled=want, changed=changed,
+                        unmark_p=p)
             if traced:
                 tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
                         attr_seq=attr_seq, action="discard",
@@ -203,6 +242,13 @@ class IQCoordinator(Coordinator):
         if ADAPT_FREQ in attrs:
             # Deliberately no window change (see module docstring).
             self.freq_adaptations += 1
+            if sp is not None:
+                sp.on_action(episode, "freq_no_window_change",
+                             freq_chg=float(attrs[ADAPT_FREQ]))
+            if fl is not None:
+                fl.note("coord", "ACTION", flow=snd.flow_id,
+                        action="freq_no_window_change",
+                        freq_chg=float(attrs[ADAPT_FREQ]))
             if traced:
                 tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
                         attr_seq=attr_seq, action="freq_no_window_change",
@@ -227,6 +273,16 @@ class IQCoordinator(Coordinator):
                 cwnd_before = snd.cc.cwnd
                 snd.cc.scale_window(factor)
                 self.window_rescales += 1
+                if sp is not None:
+                    sp.on_action(episode, "window_rescale",
+                                 rate_chg=rate_chg, base_factor=base_factor,
+                                 drift=drift, factor=factor,
+                                 cwnd_before=cwnd_before,
+                                 cwnd_after=snd.cc.cwnd)
+                if fl is not None:
+                    fl.note("coord", "ACTION", flow=snd.flow_id,
+                            action="window_rescale", factor=factor,
+                            cwnd_before=cwnd_before, cwnd_after=snd.cc.cwnd)
                 tm = getattr(snd, "telemetry", None)
                 if tm is not None:
                     # Pin the re-inflation onto the sampled cwnd series so
@@ -242,9 +298,19 @@ class IQCoordinator(Coordinator):
                             rate_chg=rate_chg, base_factor=base_factor,
                             drift=drift, factor=factor,
                             cwnd_before=cwnd_before, cwnd_after=snd.cc.cwnd)
-            elif traced:
-                tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
-                        attr_seq=attr_seq,
-                        action="rescale_skipped_large_frame",
-                        rate_chg=rate_chg,
-                        last_frame_size=snd.last_frame_size, mss=snd.mss)
+            else:
+                if sp is not None:
+                    sp.on_action(episode, "rescale_skipped_large_frame",
+                                 rate_chg=rate_chg,
+                                 last_frame_size=snd.last_frame_size,
+                                 mss=snd.mss)
+                if fl is not None:
+                    fl.note("coord", "ACTION", flow=snd.flow_id,
+                            action="rescale_skipped_large_frame",
+                            rate_chg=rate_chg)
+                if traced:
+                    tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                            attr_seq=attr_seq,
+                            action="rescale_skipped_large_frame",
+                            rate_chg=rate_chg,
+                            last_frame_size=snd.last_frame_size, mss=snd.mss)

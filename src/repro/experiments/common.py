@@ -22,7 +22,9 @@ from ..faults import FaultInjector, FaultSchedule
 from ..invariants import CheckedSimulator, InvariantChecker
 from ..middleware.adaptation import AdaptationStrategy, NullAdaptation
 from ..obs.bus import TraceBus
+from ..obs.flight import flight_from_env
 from ..obs.metrics import MetricsRegistry, collect_scenario_metrics
+from ..obs.spans import SpanRecorder
 from ..obs.telemetry import TelemetryConfig, TelemetryRecorder
 from ..middleware.application import AdaptiveSource
 from ..middleware.receiver import DeliveryLog
@@ -92,7 +94,8 @@ class ScenarioConfig:
                  invariants: bool = False,
                  telemetry: TelemetryConfig | None = None,
                  burst: bool = False,
-                 fluid_bps: float = 0.0):
+                 fluid_bps: float = 0.0,
+                 spans: bool = False):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
         if workload not in ("trace_clocked", "greedy", "fixed_clocked"):
@@ -143,6 +146,11 @@ class ScenarioConfig:
         # results vs per-packet cross traffic.
         self.burst = bool(burst)
         self.fluid_bps = float(fluid_bps)
+        # Causal frame-lineage spans (repro.obs.spans).  Purely passive --
+        # armed summaries are bit-identical to disarmed ones -- but the
+        # flag is part of the config (and cache key) because the result
+        # artifact differs: ``ScenarioResult.spans`` carries the lineage.
+        self.spans = bool(spans)
 
     def replace(self, **kw: Any) -> "ScenarioConfig":
         """Copy with overrides (sweep helper).
@@ -184,6 +192,12 @@ class ScenarioResult:
     #: background traffic), when ``ScenarioConfig(fluid_bps=...)`` armed
     #: one; class-level None keeps old cached pickles readable.
     fluid = None
+    #: Causal frame-lineage artifact (:meth:`repro.obs.spans.SpanRecorder.
+    #: finalize` output) when ``ScenarioConfig(spans=True)``; else None.
+    spans = None
+    #: Flight-recorder dump (:meth:`repro.obs.flight.FlightRecorder.dump`)
+    #: -- populated on every run unless ``REPRO_FLIGHT=0`` disabled it.
+    flight = None
 
     def __init__(self, *, summary: dict[str, float], log: DeliveryLog,
                  conn, source: AdaptiveSource | None,
@@ -280,7 +294,34 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
     timers into it.  Like tracing it never changes results and is not part
     of the config; unlike tracing it cannot combine with armed invariants
     (both claim the engine run loop by subclassing).
+
+    Every run additionally carries an always-on flight recorder
+    (:mod:`repro.obs.flight`, disable with ``REPRO_FLIGHT=0``): created
+    *before* any scenario construction so even a setup crash leaves a
+    dump, which is attached to the raised exception as ``flight_dump``
+    (the runner moves it onto :class:`~repro.runner.FailedResult`) and to
+    ``ScenarioResult.flight`` on success.
     """
+    flight = flight_from_env()
+    if flight is not None:
+        flight.note("run", "START",
+                    scenario=f"{cfg.transport}/{cfg.workload}"
+                             f"/seed={cfg.seed}")
+    try:
+        return _run_scenario(cfg, flight, trace_sink=trace_sink,
+                             profile=profile)
+    except BaseException as exc:
+        if flight is not None:
+            flight.note("run", "EXCEPTION", error=type(exc).__name__)
+            try:
+                exc.flight_dump = flight.dump()
+            except Exception:
+                pass  # exotic exceptions without a __dict__ lose the dump
+        raise
+
+
+def _run_scenario(cfg: ScenarioConfig, flight, *, trace_sink=None,
+                  profile=None) -> ScenarioResult:
     # Invariant checking (repro.invariants): the checked engine plus a
     # periodic read-only checker.  Armed and disarmed runs produce
     # bit-identical summaries -- checks observe, never steer -- so the
@@ -306,9 +347,22 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
     # are bit-identical to per-packet runs.
     if cfg.burst or bool(os.environ.get("REPRO_BURST")):
         sim.burst = True
+    # Forensics: the flight recorder and (when armed) the span recorder
+    # must hang off the simulator *before* topology construction -- links
+    # cache ``sim.flight``/``sim.spans`` at build time.
+    if flight is not None:
+        flight.bind(sim)
+        sim.flight = flight
+    spans = None
+    if cfg.spans:
+        spans = SpanRecorder(
+            sim, scenario=f"{cfg.transport}/{cfg.workload}/seed={cfg.seed}")
+        sim.spans = spans
     streams = RandomStreams(cfg.seed)
     net = Dumbbell(sim, bottleneck_bps=cfg.bottleneck_bps, rtt_s=cfg.rtt_s,
                    mss=cfg.mss, queue_pkts=cfg.queue_pkts)
+    if spans is not None:
+        spans.watch_network(net)
 
     # -- network dynamics ---------------------------------------------------
     injector = None
@@ -333,6 +387,8 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
                           on_deliver=log.on_deliver,
                           fixed_window=cfg.fixed_window,
                           hardening=hardening)
+    if spans is not None:
+        spans.watch_flow(conn)
 
     strategy = cfg.adaptation() if cfg.adaptation else NullAdaptation()
     if not isinstance(strategy, NullAdaptation) and cfg.transport == "tcp":
@@ -464,7 +520,8 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
     summary["stalls"] = float(conn.sender.stats.stalls)
     summary["stall_recoveries"] = float(conn.sender.stats.stall_recoveries)
     registry = collect_scenario_metrics(MetricsRegistry(), conn=conn, net=net,
-                                        strategy=strategy)
+                                        strategy=strategy, source=source,
+                                        log=log)
     summary.update(registry.summary(prefix="obs_"))
     res = ScenarioResult(summary=summary, log=log, conn=conn, source=source,
                          strategy=strategy, net=net, sim=sim,
@@ -481,6 +538,10 @@ def run_scenario(cfg: ScenarioConfig, *, trace_sink=None,
         # Rides the result through pickling and the cache (the batch
         # persister strips only ``trace``), so sweeps get series for free.
         res.telemetry = recorder.data
+    if flight is not None:
+        res.flight = flight.dump()
+    if spans is not None:
+        res.spans = spans.finalize()
     if profile is not None:
         profile.phase("collect", perf_counter() - _t_phase)
     return res

@@ -37,6 +37,7 @@ from .faults.schedule import (BandwidthRamp, Blackout, BurstyLoss, DelayRamp,
 from .middleware.adaptation import (FrequencyAdaptation, MarkingAdaptation,
                                     ResolutionAdaptation)
 from .obs.compare import compare_summaries, compare_telemetry
+from .obs.flight import first_divergence
 from .obs.telemetry import TelemetryConfig
 from .runner import FailedResult, ResultsCache, run_batch
 
@@ -144,6 +145,10 @@ class FuzzReport:
         self.seed = seed
         self.failures: list[str] = []    # cases that crashed/violated
         self.mismatches: list[str] = []  # differential-oracle breaches
+        #: One forensics record per failure/mismatch: the flight-recorder
+        #: dumps of both sides plus the first event id at which they
+        #: diverge (``repro fuzz --forensics PATH`` serialises these).
+        self.forensics: list[dict] = []
         self.cases_run = 0
 
     @property
@@ -170,7 +175,28 @@ def _case_label(i: int, cfg: ScenarioConfig) -> str:
 
 def _compare(report: FuzzReport, label: str, i: int, cfg: ScenarioConfig,
              ref, other) -> None:
-    """Exact-agreement oracle between a reference result and a re-run."""
+    """Exact-agreement oracle between a reference result and a re-run.
+
+    Any disagreement additionally files a forensics record: both sides'
+    flight-recorder dumps and the first event id at which they diverge,
+    which localises *where* two supposedly identical runs parted ways."""
+    before = len(report.mismatches)
+    _compare_inner(report, label, i, cfg, ref, other)
+    if len(report.mismatches) > before:
+        ref_fl = getattr(ref, "flight", None)
+        other_fl = getattr(other, "flight", None)
+        report.forensics.append({
+            "label": label,
+            "case": _case_label(i, cfg),
+            "mismatches": report.mismatches[before:],
+            "first_divergence": first_divergence(ref_fl, other_fl),
+            "ref_flight": ref_fl,
+            "other_flight": other_fl,
+        })
+
+
+def _compare_inner(report: FuzzReport, label: str, i: int,
+                   cfg: ScenarioConfig, ref, other) -> None:
     ref_failed = isinstance(ref, FailedResult)
     other_failed = isinstance(other, FailedResult)
     if ref_failed != other_failed:
@@ -235,6 +261,14 @@ def run_fuzz(*, budget: int = 25, seed: int = 4, jobs: int = 2,
             if isinstance(res, FailedResult):
                 report.failures.append(
                     f"{_case_label(i, cfg)}: {res.describe()}")
+                report.forensics.append({
+                    "label": "failure",
+                    "case": _case_label(i, cfg),
+                    "mismatches": [res.describe()],
+                    "first_divergence": None,
+                    "ref_flight": res.flight,
+                    "other_flight": None,
+                })
 
         log(f"[fuzz] pass B: jobs={jobs}, uncached (parallel determinism)")
         par = run_batch(cfgs, jobs=jobs, cache=False, on_error="capture",

@@ -24,6 +24,11 @@ package provides the run-level evidence chain:
   (``ScenarioConfig(telemetry=...)``) with bounded M4-style downsampling.
 * :mod:`.profiler` -- the engine self-profiler behind ``repro profile``.
 * :mod:`.compare` -- the ``repro compare`` run-diff tooling.
+* :mod:`.flight` -- the always-on bounded flight recorder whose dump is
+  attached to every result and failure (``repro forensics``).
+* :mod:`.spans` -- causal frame-lineage spans linking application frames
+  to datagram attempts, drops and coordination episodes
+  (``ScenarioConfig(spans=True)``, ``repro lineage``).
 """
 
 from .bus import NULL_BUS, NullBus, TraceBus
@@ -38,7 +43,10 @@ from .sinks import JsonlTraceSink, RingBufferSink, read_trace, write_trace
 # engine imports repro.sim.engine, which imports .bus -- the order here
 # keeps that cycle resolvable.
 from .compare import ComparisonReport, compare_artifacts
+from .flight import (DEFAULT_CAPACITY, FlightRecorder, first_divergence,
+                     flight_from_env, render_flight)
 from .profiler import EngineProfile, ProfiledSimulator, profile_scenario
+from .spans import FRAME_OUTCOMES, SpanRecorder
 from .telemetry import Series, Telemetry, TelemetryConfig, TelemetryRecorder
 
 __all__ = [
@@ -53,4 +61,7 @@ __all__ = [
     "TelemetryConfig", "Telemetry", "TelemetryRecorder", "Series",
     "EngineProfile", "ProfiledSimulator", "profile_scenario",
     "ComparisonReport", "compare_artifacts",
+    "FlightRecorder", "flight_from_env", "first_divergence",
+    "render_flight", "DEFAULT_CAPACITY",
+    "SpanRecorder", "FRAME_OUTCOMES",
 ]

@@ -251,13 +251,20 @@ class MetricsRegistry:
 
 
 def collect_scenario_metrics(registry: MetricsRegistry, *, conn, net=None,
-                             strategy=None) -> MetricsRegistry:
+                             strategy=None, source=None,
+                             log=None) -> MetricsRegistry:
     """Roll one finished scenario's state into ``registry``.
 
     Duck-typed over the connection/network/strategy objects so it works for
     every transport in the registry (TCP included) and stays usable from
     tests that build topologies by hand.  Called by ``run_scenario`` after
     the run completes; costs one pass over the per-period metric history.
+
+    ``source`` (the application :class:`AdaptiveSource`) and ``log`` (the
+    :class:`DeliveryLog`) add frame-level failure accounting -- submitted
+    versus delivered frames plus the abandonment causes (local conflict
+    discards, adaptive-reliability skips) -- derived from state every run
+    carries, so armed-span and disarmed runs export identical values.
     """
     sender = getattr(conn, "sender", None)
     if sender is not None:
@@ -298,6 +305,23 @@ def collect_scenario_metrics(registry: MetricsRegistry, *, conn, net=None,
         registry.counter("bottleneck_arrivals").inc(qstats.arrivals)
         registry.gauge("bottleneck_peak_pkts").set(qstats.peak_packets)
         registry.gauge("bottleneck_peak_bytes").set(qstats.peak_bytes)
+    if source is not None:
+        registry.counter("frames_submitted").inc(
+            getattr(source, "submitted_frames", 0))
+    if log is not None:
+        registry.counter("frames_delivered").inc(log.frames_delivered())
+        if source is not None:
+            registry.counter("frames_undelivered").inc(
+                max(getattr(source, "submitted_frames", 0)
+                    - log.frames_delivered(), 0))
+    if sender is not None:
+        # Abandonment causes, from counters every transport keeps: frames
+        # whose datagrams were discarded locally by the conflict scheme,
+        # and datagrams abandoned in flight via skip messages.
+        registry.counter("abandoned_msgs_discard").inc(
+            sender.stats.discarded_msgs)
+        registry.counter("abandoned_datagrams_skip").inc(
+            sender.stats.skips_sent)
     if strategy is not None:
         registry.gauge("adapt_scale_final").set(
             getattr(strategy, "scale", 1.0))

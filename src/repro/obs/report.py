@@ -258,8 +258,14 @@ def report_json(path, *, run: str | None = None, limit: int | None = None,
             raise ValueError(f"run {run!r} not found in {path}")
     wanted = TIMELINE_EVENTS if types is None else (frozenset(types) or None)
     out_runs = []
+    failures_by_kind: dict[str, int] = {}
     for entry in runs:
-        events = entry["events"]
+        # Cached and failed runs ship no event stream.
+        events = entry["events"] or []
+        meta_dict = entry.get("meta") or {}
+        if meta_dict.get("failed"):
+            kind = str(meta_dict.get("failed_kind", "error"))
+            failures_by_kind[kind] = failures_by_kind.get(kind, 0) + 1
         picked = [ev for ev in events
                   if wanted is None or ev.get("event") in wanted]
         if limit is not None and len(picked) > limit:
@@ -267,7 +273,7 @@ def report_json(path, *, run: str | None = None, limit: int | None = None,
         out_runs.append({
             "run": entry["run"],
             "cached": entry["cached"],
-            "meta": entry.get("meta") or {},
+            "meta": meta_dict,
             "events_total": len(events),
             "timeline": picked,
             "audit": coordination_audit(events),
@@ -275,4 +281,6 @@ def report_json(path, *, run: str | None = None, limit: int | None = None,
     return {"path": str(path),
             "format": header.get("format"),
             "version": header.get("version"),
+            "failures": {"total": sum(failures_by_kind.values()),
+                         "by_kind": dict(sorted(failures_by_kind.items()))},
             "runs": out_runs}

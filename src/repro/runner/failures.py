@@ -48,10 +48,15 @@ class FailedResult:
     completed = False
     trace = None
     invariant_checks = 0
+    #: Flight-recorder dump (:mod:`repro.obs.flight`) captured at the
+    #: moment of failure -- the last N causal events before the crash,
+    #: violation or timeout kill.  ``repro forensics`` renders it.
+    flight = None
 
     def __init__(self, *, kind: str, error_type: str = "", message: str = "",
                  traceback: str = "", attempts: int = 1,
-                 elapsed_s: float = 0.0, scenario: str = ""):
+                 elapsed_s: float = 0.0, scenario: str = "",
+                 flight: dict | None = None):
         self.kind = kind
         self.error_type = error_type
         self.message = message
@@ -59,6 +64,8 @@ class FailedResult:
         self.attempts = attempts
         self.elapsed_s = elapsed_s
         self.scenario = scenario
+        if flight is not None:
+            self.flight = flight
 
     @property
     def transient(self) -> bool:

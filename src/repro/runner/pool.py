@@ -135,7 +135,8 @@ def _capture_inprocess(cfg: ScenarioConfig, worker: Callable
         return FailedResult(kind=classify_exception(exc),
                             error_type=type(exc).__name__, message=str(exc),
                             traceback=traceback.format_exc(), attempts=1,
-                            scenario=describe_config(cfg))
+                            scenario=describe_config(cfg),
+                            flight=getattr(exc, "flight_dump", None))
 
 
 def run_one(cfg: ScenarioConfig, *,

@@ -7,8 +7,10 @@ The resilient batch path therefore runs each scenario in its own one-shot
 
 * a scenario that **raises** reports a classified failure message through
   the pipe (crash isolation);
-* a scenario that **hangs** past its wall-clock budget is killed
-  (``SIGKILL``) and classified ``"timeout"``;
+* a scenario that **hangs** past its wall-clock budget is sent SIGTERM
+  (which the child converts to :class:`TimeoutKilled`, giving
+  ``run_scenario`` a moment to report its flight-recorder dump through
+  the pipe), then killed (``SIGKILL``) and classified ``"timeout"``;
 * a worker that **dies silently** (OOM kill, interpreter abort) is
   detected by pipe EOF and classified ``"worker-lost"``;
 * transient kinds are **retried** with exponential backoff, bounded by
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing as mp
+import signal
 import time as _time
 import traceback
 from multiprocessing.connection import wait as _conn_wait
@@ -35,7 +38,23 @@ from typing import Any, Callable
 from ..invariants import InvariantViolation
 from .failures import FailedResult, TRANSIENT_KINDS
 
-__all__ = ["run_supervised", "describe_config", "classify_exception"]
+__all__ = ["run_supervised", "describe_config", "classify_exception",
+           "TimeoutKilled"]
+
+#: Grace period between SIGTERM and SIGKILL on a timed-out worker: long
+#: enough for the child to unwind through ``run_scenario`` and send its
+#: flight dump, short enough not to stall the batch.
+_TERM_GRACE_S = 1.0
+
+
+class TimeoutKilled(BaseException):
+    """Raised inside a timed-out worker by its SIGTERM handler.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so ordinary
+    ``except Exception`` recovery blocks in scenario code cannot swallow
+    the kill; ``run_scenario``'s forensics wrapper still sees it pass by
+    and attaches the flight dump for the failure report.
+    """
 
 
 def describe_config(cfg) -> str:
@@ -45,16 +64,31 @@ def describe_config(cfg) -> str:
 
 def classify_exception(exc: BaseException) -> str:
     """Failure kind for a raised exception (see :mod:`.failures`)."""
+    if isinstance(exc, TimeoutKilled):
+        return "timeout"
     return "invariant" if isinstance(exc, InvariantViolation) else "error"
 
 
 def _child_main(conn, worker: Callable, cfg) -> None:
-    """Worker-process entry: run one scenario, report through the pipe."""
+    """Worker-process entry: run one scenario, report through the pipe.
+
+    The failure tuple's last element is the flight-recorder dump
+    ``run_scenario`` attached to the exception (None when recording is
+    disabled or the crash happened outside the scenario)."""
+
+    def _on_term(signum, frame):
+        raise TimeoutKilled("killed at wall-clock timeout")
+
+    try:
+        signal.signal(signal.SIGTERM, _on_term)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     try:
         res = worker(cfg)
     except BaseException as exc:
         conn.send(("fail", classify_exception(exc), type(exc).__name__,
-                   str(exc), traceback.format_exc()))
+                   str(exc), traceback.format_exc(),
+                   getattr(exc, "flight_dump", None)))
     else:
         try:
             conn.send(("ok", res))
@@ -63,7 +97,8 @@ def _child_main(conn, worker: Callable, cfg) -> None:
             # than dying silently (which would read as worker-lost).
             conn.send(("fail", "error", type(exc).__name__,
                        f"result not transferable: {exc}",
-                       traceback.format_exc()))
+                       traceback.format_exc(),
+                       getattr(res, "flight", None)))
     finally:
         conn.close()
 
@@ -111,7 +146,7 @@ def run_supervised(tasks, worker: Callable, *, jobs: int = 1,
             on_result(job.index, value)
 
     def _fail_or_retry(job: _Job, kind: str, message: str,
-                       elapsed: float) -> None:
+                       elapsed: float, flight=None) -> None:
         nonlocal order
         if kind in TRANSIENT_KINDS and job.attempts <= retries:
             delay = retry_backoff_s * (2 ** (job.attempts - 1))
@@ -121,7 +156,8 @@ def run_supervised(tasks, worker: Callable, *, jobs: int = 1,
             return
         _finish(job, FailedResult(kind=kind, message=message,
                                   attempts=job.attempts, elapsed_s=elapsed,
-                                  scenario=describe_config(job.cfg)))
+                                  scenario=describe_config(job.cfg),
+                                  flight=flight))
 
     def _kill(proc, conn) -> None:
         try:
@@ -130,6 +166,22 @@ def run_supervised(tasks, worker: Callable, *, jobs: int = 1,
             pass
         proc.join()
         conn.close()
+
+    def _terminate_collect(proc, conn):
+        """SIGTERM a timed-out worker, give it a grace period to unwind
+        and report its flight dump, then hard-kill regardless.  Returns
+        the dump or None."""
+        flight = None
+        try:
+            proc.terminate()
+            if conn.poll(_TERM_GRACE_S):
+                msg = conn.recv()
+                if msg and msg[0] == "fail" and len(msg) >= 6:
+                    flight = msg[5]
+        except Exception:
+            pass  # a worker too wedged to report still gets killed
+        _kill(proc, conn)
+        return flight
 
     try:
         while ready or running:
@@ -182,20 +234,20 @@ def run_supervised(tasks, worker: Callable, *, jobs: int = 1,
                 elif msg[0] == "ok":
                     _finish(job, msg[1])
                 else:
-                    _, kind, etype, emsg, tb = msg
+                    _, kind, etype, emsg, tb, flight = msg
                     _finish(job, FailedResult(
                         kind=kind, error_type=etype, message=emsg,
                         traceback=tb, attempts=job.attempts,
                         elapsed_s=elapsed,
-                        scenario=describe_config(job.cfg)))
+                        scenario=describe_config(job.cfg), flight=flight))
 
             for conn in [c for c, (_, _, dl, _) in running.items()
                          if dl is not None and now >= dl]:
                 proc, job, _, started = running.pop(conn)
-                _kill(proc, conn)
+                flight = _terminate_collect(proc, conn)
                 _fail_or_retry(job, "timeout",
                                f"exceeded {timeout:g}s wall-clock budget",
-                               now - started)
+                               now - started, flight=flight)
     except KeyboardInterrupt:
         for conn, (proc, job, _, _) in running.items():
             _kill(proc, conn)

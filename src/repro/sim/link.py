@@ -146,9 +146,17 @@ class Link:
         self.sink = sink
         self.name = name
         self.trace = sim.bus
+        # Forensics hooks (repro.obs.flight / repro.obs.spans): cached from
+        # the simulator so every drop site pays one ``is None`` check.  The
+        # queue gets the same references because burst enqueues
+        # (``push_all``) drop inside the queue, not here.
+        self.flight = getattr(sim, "flight", None)
+        self.spans = getattr(sim, "spans", None)
         self.queue = DropTailQueue(queue_bytes, on_drop=on_drop)
         self.queue.trace = self.trace
         self.queue.name = name
+        self.queue.flight = self.flight
+        self.queue.spans = self.spans
         self.loss = loss or LossModel()
         self.jitter: DelayJitter | None = None
         self._busy = False
@@ -168,6 +176,13 @@ class Link:
         or the link is administratively down."""
         if not self.up:
             self.packets_lost_wire += 1
+            fl = self.flight
+            if fl is not None:
+                fl.note("net", "DROP", kind="down", link=self.name,
+                        flow=pkt.flow_id, pkt=pkt.seq)
+            sp = self.spans
+            if sp is not None:
+                sp.on_drop(pkt, self.name, "down")
             tr = self.trace
             if tr.enabled:
                 tr.emit("net", PACKET_DROP, link=self.name, kind="down",
@@ -230,6 +245,13 @@ class Link:
             self._deliver(pkt, delay)
         else:
             self.packets_lost_wire += 1
+            fl = self.flight
+            if fl is not None:
+                fl.note("net", "DROP", kind="wire", link=self.name,
+                        flow=pkt.flow_id, pkt=pkt.seq)
+            sp = self.spans
+            if sp is not None:
+                sp.on_drop(pkt, self.name, "wire")
             tr = self.trace
             if tr.enabled:
                 tr.emit("net", PACKET_DROP, link=self.name, kind="wire",
@@ -258,6 +280,9 @@ class Link:
         self.up = False
         flushed = self.queue.flush()
         self.packets_lost_wire += flushed
+        fl = self.flight
+        if fl is not None:
+            fl.note("net", "LINK_FAIL", link=self.name, flushed=flushed)
         tr = self.trace
         if tr.enabled:
             tr.emit("net", LINK_FAIL, link=self.name, flushed=flushed)
@@ -266,6 +291,9 @@ class Link:
         if self.up:
             return
         self.up = True
+        fl = self.flight
+        if fl is not None:
+            fl.note("net", "LINK_RECOVER", link=self.name)
         tr = self.trace
         if tr.enabled:
             tr.emit("net", LINK_RECOVER, link=self.name)

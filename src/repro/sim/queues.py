@@ -53,7 +53,7 @@ class DropTailQueue:
     """
 
     __slots__ = ("capacity_bytes", "on_drop", "_q", "_bytes", "stats",
-                 "trace", "name")
+                 "trace", "name", "flight", "spans")
 
     def __init__(self, capacity_bytes: int,
                  on_drop: Callable[[Packet], None] | None = None):
@@ -67,6 +67,13 @@ class DropTailQueue:
         # Owning Link rebinds these; standalone queues stay untraced.
         self.trace = NULL_BUS
         self.name = "queue"
+        # Forensics hooks, rebound by the owning Link.  They live here (not
+        # only on the Link) because burst enqueues drop inside
+        # :meth:`push_all`'s per-packet degradation, which never returns
+        # through Link.send -- noting at the queue keeps the flight/span
+        # record byte-identical between burst and per-packet paths.
+        self.flight = None
+        self.spans = None
 
     def __len__(self) -> int:
         return len(self._q)
@@ -89,6 +96,13 @@ class DropTailQueue:
         if new_bytes > self.capacity_bytes:
             st.drops += 1
             st.bytes_dropped += wire
+            fl = self.flight
+            if fl is not None:
+                fl.note("net", "DROP", kind="queue", link=self.name,
+                        flow=pkt.flow_id, pkt=pkt.seq)
+            sp = self.spans
+            if sp is not None:
+                sp.on_drop(pkt, self.name, "queue")
             if self.on_drop is not None:
                 self.on_drop(pkt)
             return False
@@ -248,6 +262,13 @@ class REDQueue(DropTailQueue):
             st.arrivals += 1
             st.drops += 1
             st.bytes_dropped += pkt.wire_size
+            fl = self.flight
+            if fl is not None:
+                fl.note("net", "DROP", kind="red", link=self.name,
+                        flow=pkt.flow_id, pkt=pkt.seq)
+            sp = self.spans
+            if sp is not None:
+                sp.on_drop(pkt, self.name, "red")
             if self.on_drop is not None:
                 self.on_drop(pkt)
             return False

@@ -107,6 +107,16 @@ class WindowedSender:
     #: paths (coordination actions), never per packet.
     telemetry = None
 
+    #: Span recorder (:class:`repro.obs.spans.SpanRecorder`) installed by
+    #: ``watch_flow`` when the scenario arms lineage capture; same
+    #: class-attribute idiom as ``telemetry``.
+    spans = None
+
+    #: Flight recorder (:class:`repro.obs.flight.FlightRecorder`) inherited
+    #: from the simulator at construction; notes sit only on cold paths
+    #: (retransmissions, RTOs, stalls, discards, completion).
+    flight = None
+
     def __init__(self, sim: Simulator, host: Host, *, port: int,
                  peer_addr: int, peer_port: int, cc: CongestionControl,
                  mss: int = 1400,
@@ -194,6 +204,7 @@ class WindowedSender:
         # on so the congestion laws keep their zero-overhead default.
         tr = sim.bus
         self.trace = tr
+        self.flight = getattr(sim, "flight", None)
         if tr.enabled:
             self.metrics.trace = tr
             self.metrics.flow = self.flow_id
@@ -242,6 +253,7 @@ class WindowedSender:
         now = self.sim.now
         nseg = (size + self.mss - 1) // self.mss
         remaining = size
+        sp = self.spans
         for i in range(nseg):
             seg = min(self.mss, remaining)
             remaining -= seg
@@ -251,6 +263,8 @@ class WindowedSender:
                          created_at=now, marked=marked, tagged=tagged,
                          frame_id=frame_id)
             pkt.last_of_frame = (i == nseg - 1)
+            if sp is not None:
+                sp.on_segment(pkt)
             self._pending.append(pkt)
             self.backlog_bytes += seg
         self.stats.submitted_msgs += 1
@@ -282,6 +296,7 @@ class WindowedSender:
         dst = self.peer_addr
         sport = self.port
         dport = self.peer_port
+        sp = self.spans
         total_seg = 0
         for n, size in enumerate(sizes):
             if size <= 0:
@@ -298,6 +313,8 @@ class WindowedSender:
                              dport=dport, created_at=now, marked=marked,
                              tagged=tagged, frame_id=frame_id)
                 pkt.last_of_frame = (i == nseg - 1)
+                if sp is not None:
+                    sp.on_segment(pkt)
                 pending.append(pkt)
                 self.backlog_bytes += seg
             st.submitted_msgs += 1
@@ -359,6 +376,13 @@ class WindowedSender:
                 self.backlog_bytes -= pkt.size
                 self.stats.discarded_msgs += 1
                 self.stats.discarded_bytes += pkt.size
+                sp = self.spans
+                if sp is not None:
+                    sp.on_discard(pkt)
+                fl = self.flight
+                if fl is not None:
+                    fl.note("transport", "DISCARD", flow=self.flow_id,
+                            frame=pkt.frame_id, size=pkt.size)
                 continue
             self._pending.popleft()
             self.backlog_bytes -= pkt.size
@@ -384,6 +408,9 @@ class WindowedSender:
             # precomputed slot, so it must be rewritten alongside size.
             wire.size = 0
             wire.wire_size = HEADER_BYTES
+        sp = self.spans
+        if sp is not None:
+            sp.on_transmit(pkt)
         tr = self.trace
         if tr.enabled:
             tr.emit("transport", PACKET_SEND, flow=self.flow_id, pkt=pkt.seq,
@@ -410,6 +437,10 @@ class WindowedSender:
         else:
             pkt.retransmit += 1
             self.stats.retransmissions += 1
+        fl = self.flight
+        if fl is not None:
+            fl.note("transport", "RETX", flow=self.flow_id, pkt=seq,
+                    reason="timeout" if timeout else "fast", skip=pkt.skip)
         tr = self.trace
         if tr.enabled:
             tr.emit("transport", PACKET_RETX, flow=self.flow_id, pkt=seq,
@@ -443,6 +474,10 @@ class WindowedSender:
             if self._stalled:
                 self._stalled = False
                 self.stats.stall_recoveries += 1
+                fl = self.flight
+                if fl is not None:
+                    fl.note("transport", "RESUME", flow=self.flow_id,
+                            recoveries=self.stats.stall_recoveries)
                 self.coordinator.on_resume(self.sim.now)
         sample: float | None = None
         for s in range(self.snd_una, ack):
@@ -551,6 +586,11 @@ class WindowedSender:
             return
         self.rtt.backoff()
         self.cc.on_timeout(self.inflight)
+        fl = self.flight
+        if fl is not None:
+            fl.note("transport", "RTO", flow=self.flow_id,
+                    head=self.snd_una, rto=self.rtt.rto,
+                    inflight=self.inflight)
         self._in_recovery = False
         self._dup_acks = 0
         self._repaired.clear()
@@ -560,6 +600,9 @@ class WindowedSender:
                     and self._consec_timeouts >= self.stall_threshold):
                 self._stalled = True
                 self.stats.stalls += 1
+                if fl is not None:
+                    fl.note("transport", "STALL", flow=self.flow_id,
+                            consec_timeouts=self._consec_timeouts)
                 self.coordinator.on_stall(self.sim.now)
         self._retransmit(self.snd_una, timeout=True)
         self._arm_rto()
@@ -625,6 +668,11 @@ class WindowedSender:
         if (self._finished and not self._completed and not self._pending
                 and self.snd_una == self.snd_nxt):
             self._completed = True
+            fl = self.flight
+            if fl is not None:
+                fl.note("transport", "COMPLETE", flow=self.flow_id,
+                        acked=self.stats.acked_packets,
+                        skips=self.stats.skips_sent)
             if self._rto_event is not None:
                 self._rto_event.cancel()
                 self._rto_event = None
@@ -674,6 +722,9 @@ class WindowedReceiver:
     #: the wire charge stays ACK_BYTES -- a real EACK packs ranges).
     EACK_LIMIT = 256
 
+    #: Span recorder hook, same class-attribute idiom as the sender's.
+    spans = None
+
     def __init__(self, sim: Simulator, host: Host, *, port: int,
                  peer_addr: int, peer_port: int, flow_id: int,
                  on_deliver: Callable[[Packet, float], None] | None = None,
@@ -705,11 +756,16 @@ class WindowedReceiver:
         self._send_ack()
 
     def _consume(self, pkt: Packet) -> None:
+        sp = self.spans
         if pkt.skip:
             self.stats.skipped_received += 1
+            if sp is not None:
+                sp.on_skip(pkt)
             return
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += pkt.size
+        if sp is not None:
+            sp.on_deliver(pkt)
         if self.on_deliver is not None:
             self.on_deliver(pkt, self.sim.now)
 
