@@ -37,11 +37,14 @@ Quickstart (the stable public surface is :mod:`repro.api`)::
 
 from . import analysis, api, core, middleware, sim, traffic, transport
 from .api import (BatchExecutionError, FailedResult, InvariantViolation,
-                  Scenario, load_result, run, sweep)
+                  Scenario, load_campaign, load_result, run, run_campaign,
+                  sweep)
+from .campaign import Campaign
 
 __version__ = "1.0.0"
 
 __all__ = ["analysis", "api", "core", "middleware", "sim", "traffic",
            "transport", "Scenario", "run", "sweep", "load_result",
            "FailedResult", "BatchExecutionError", "InvariantViolation",
+           "Campaign", "run_campaign", "load_campaign",
            "__version__"]

@@ -40,9 +40,7 @@ from typing import Callable
 from .analysis.tables import render_comparison, render_table
 from .experiments import baseline, conflict, dynamics, granularity, overreaction
 from .experiments.common import TRANSPORTS
-from .middleware.adaptation import (DelayedResolutionAdaptation,
-                                    FrequencyAdaptation, MarkingAdaptation,
-                                    ResolutionAdaptation)
+from .middleware.adaptation import ADAPTATIONS
 
 __all__ = ["main", "EXPERIMENTS", "parse_overrides"]
 
@@ -71,16 +69,6 @@ def parse_overrides(pairs: "list[str] | None") -> "dict | None":
             out[key] = raw
     return out
 
-_ADAPTATIONS: dict[str, Callable] = {
-    "none": lambda: None,
-    "resolution": lambda: ResolutionAdaptation(upper=0.05, lower=0.005),
-    "marking": lambda: MarkingAdaptation(upper=0.05, lower=0.01),
-    "delayed": lambda: DelayedResolutionAdaptation(boundary=400,
-                                                   upper=0.05, lower=0.005),
-    "frequency": lambda: FrequencyAdaptation(upper=0.05, lower=0.005),
-}
-
-
 def _table(headers, paper, measured, title) -> str:
     paper_rows = [(k, *v) for k, v in paper.items()]
     return render_comparison(title, headers, paper_rows, measured)
@@ -89,7 +77,7 @@ def _table(headers, paper, measured, title) -> str:
 def _run_table1(args) -> str:
     res = baseline.run_table1(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     measured = [(k, *(round(x, 3) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -99,7 +87,7 @@ def _run_table1(args) -> str:
 def _run_table2(args) -> str:
     res = baseline.run_table2(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     measured = [(k, *(round(x, 4) for x in baseline.table_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Time", "Thr KB/s", "IA", "Jitter"),
@@ -109,7 +97,7 @@ def _run_table2(args) -> str:
 def _run_table3(args) -> str:
     res = conflict.run_table3(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -119,7 +107,7 @@ def _run_table3(args) -> str:
 def _run_table4(args) -> str:
     res = conflict.run_table4(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     measured = [(k, *(round(x, 2) for x in conflict.conflict_metrics(r)))
                 for k, r in res.items()]
     return _table(("row", "Dur", "Recv%", "TagDly", "TagJit", "Dly", "Jit"),
@@ -129,7 +117,7 @@ def _run_table4(args) -> str:
 def _run_table5(args) -> str:
     res = overreaction.run_table5(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     measured = [(k, *(round(x, 2)
                       for x in overreaction.overreaction_metrics(r)))
                 for k, r in res.items()]
@@ -140,7 +128,7 @@ def _run_table5(args) -> str:
 def _run_table6(args) -> str:
     res = overreaction.run_table6(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     rows = []
     paper_rows = []
     for rate, by_name in res.items():
@@ -157,7 +145,7 @@ def _run_table6(args) -> str:
 def _run_table7(args) -> str:
     res = granularity.run_table7(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -168,7 +156,7 @@ def _run_table7(args) -> str:
 def _run_table8(args) -> str:
     res = granularity.run_table8(
         seed=args.seed, jobs=args.jobs, trace=args.trace,
-        overrides=parse_overrides(args.set))
+        overrides=parse_overrides(args.set), campaign_dir=args.campaign_dir)
     measured = [(k, *(round(x, 2)
                       for x in granularity.granularity_metrics(r)))
                 for k, r in res.items()]
@@ -187,19 +175,19 @@ def _run_dynamics(args) -> str:
     schedules = tuple(args.schedules.split(",")) if args.schedules else None
     res = dynamics.run_dynamics(
         schedules=schedules, seed=args.seed, jobs=args.jobs,
-        trace=args.trace, overrides=parse_overrides(args.set))
+        trace=args.trace, overrides=parse_overrides(args.set),
+        campaign_dir=args.campaign_dir)
     return dynamics.render_dynamics(res)
 
 
 def _build_scenario(args):
     """One-off scenario from the shared ``scenario``/``profile`` options."""
     from .api import Scenario
-    adaptation = _ADAPTATIONS[args.adaptation]
     scenario = Scenario(
         transport=args.transport, workload=args.workload,
         n_frames=args.frames, base_frame_size=args.frame_size,
         frame_rate=args.frame_rate,
-        adaptation=None if args.adaptation == "none" else adaptation,
+        adaptation=ADAPTATIONS[args.adaptation],
         cbr_bps=args.cbr, vbr_mean_bps=args.vbr,
         loss_tolerance=args.tolerance, rtt_s=args.rtt, seed=args.seed,
         time_cap=args.time_cap)
@@ -413,31 +401,151 @@ def _run_report_cmd(args) -> str:
                          types=types)
 
 
+def _campaign_from_dir(dir_path: str):
+    """Rebuild a campaign from a directory's stored manifest spec."""
+    from .campaign import Campaign, CampaignStore
+    store = CampaignStore(dir_path)
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise FileNotFoundError(
+            f"no campaign manifest in {dir_path}; start one with "
+            f"'repro campaign run SPEC --dir {dir_path}'")
+    spec = manifest.get("spec")
+    if spec is None:
+        raise ValueError(
+            f"the campaign in {dir_path} was built programmatically (no "
+            f"stored spec); resume it through its original entry point")
+    return store, Campaign.from_mapping(spec)
+
+
+def _execute_campaign(campaign, args) -> int:
+    """Shared run/resume executor: run, report, map outcome to exit code
+    (0 clean, 1 failed cells, 130 interrupted with a resume hint)."""
+    from .campaign import run_campaign
+    print(campaign.describe(), file=sys.stderr)
+    try:
+        run = run_campaign(campaign, dir=args.dir, workers=args.workers,
+                           timeout=args.timeout, retries=args.retries)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        if args.dir:
+            print(f"interrupted; finished cells are saved -- resume with: "
+                  f"repro campaign resume {args.dir} "
+                  f"--workers {args.workers}", file=sys.stderr)
+        else:
+            print("interrupted (no --dir: nothing persisted)",
+                  file=sys.stderr)
+        return 130
+    report = run.report()
+    print(report.render())
+    if not run.complete and args.dir:
+        print(f"\n{len(run.incomplete)} cell(s) still pending; resume "
+              f"with: repro campaign resume {args.dir}", file=sys.stderr)
+        return 130
+    return 1 if report.failed else 0
+
+
+def _run_campaign_cmd(args) -> int:
+    from .api import load_campaign
+    campaign = load_campaign(args.spec)
+    overrides = parse_overrides(args.set)
+    if overrides:
+        campaign = campaign.replace_template(**overrides)
+    return _execute_campaign(campaign, args)
+
+
+def _resume_campaign_cmd(args) -> int:
+    _, campaign = _campaign_from_dir(args.dir)
+    return _execute_campaign(campaign, args)
+
+
+def _status_campaign_cmd(args) -> str:
+    from .campaign import CampaignStore
+    status = CampaignStore(args.dir).status()
+    if args.json:
+        import json
+        return json.dumps(status, indent=1, sort_keys=True)
+    lines = [f"campaign {status['name']}: {status['done']}/{status['total']}"
+             f" done ({status['failed']} failed), {status['running']} "
+             f"running, {status['pending']} pending"
+             + (f", {status['stale_claims']} stale claim(s)"
+                if status['stale_claims'] else "")]
+    for worker, n in status["workers"].items():
+        lines.append(f"  {worker}: {n} cell(s) executed")
+    return "\n".join(lines)
+
+
+def _report_campaign_cmd(args) -> str:
+    from .campaign import aggregate
+    store, campaign = _campaign_from_dir(args.dir)
+    results = {}
+    for cell in campaign.cells():
+        res = store.load_cell(cell.key)
+        if res is not None:
+            results[cell.key] = res
+    metrics = tuple(args.metrics.split(",")) if args.metrics else None
+    report = aggregate(campaign, results, metrics=metrics)
+    if args.json:
+        return report.to_json()
+    if args.prom:
+        return report.render_prometheus().rstrip("\n")
+    return report.render()
+
+
+def add_exec_flags(sp, *, seed: int | None = None, jobs: bool = False,
+                   trace: str | None = None, set_: bool = False,
+                   telemetry: bool = False, save: str | None = None,
+                   campaign_dir: bool = False) -> None:
+    """Attach the shared execution flag group to a subparser.
+
+    One definition for the ``--seed/--jobs/--trace/--set/--telemetry/
+    --save/--campaign-dir`` options every runnable command repeats; each
+    flag is opt-in so commands pick the subset they support (``trace`` and
+    ``save`` take the command-specific help text).
+    """
+    if seed is not None:
+        sp.add_argument("--seed", type=int, default=seed)
+    if jobs:
+        sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the scenario batch "
+                             "(results are identical for any N)")
+    if trace is not None:
+        sp.add_argument("--trace", metavar="PATH", default=None, help=trace)
+    if set_:
+        sp.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        default=None,
+                        help="override any ScenarioConfig field for every "
+                             "run (repeatable; values parse as Python "
+                             "literals, e.g. --set cbr_bps=16e6)")
+    if telemetry:
+        sp.add_argument("--telemetry", type=float, metavar="CADENCE_S",
+                        default=None,
+                        help="sample per-flow/queue/link time series every "
+                             "CADENCE_S sim-seconds (rides in the saved "
+                             "result)")
+    if save is not None:
+        sp.add_argument("--save", metavar="PATH", default=None, help=save)
+    if campaign_dir:
+        sp.add_argument("--campaign-dir", metavar="DIR", default=None,
+                        help="route the rows through a shared campaign "
+                             "directory: interrupt and re-run the same "
+                             "command to resume, point extra processes or "
+                             "hosts at DIR to help (see 'repro campaign')")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="IQ-RUDP (HPDC 2002) reproduction harness")
     sub = p.add_subparsers(dest="command", required=True)
 
-    def add_set_option(sp):
-        sp.add_argument("--set", action="append", metavar="KEY=VALUE",
-                        default=None,
-                        help="override any ScenarioConfig field for every "
-                             "run (repeatable; values parse as Python "
-                             "literals, e.g. --set cbr_bps=16e6)")
-
     for name in EXPERIMENTS:
         sp = sub.add_parser(name, help=f"regenerate the paper's {name}")
-        sp.add_argument("--seed", type=int,
-                        default=2 if name in ("table5", "table6") else 1)
-        sp.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for the table's scenario "
-                             "batch (results are identical for any N)")
-        sp.add_argument("--trace", metavar="PATH", default=None,
-                        help="write the batch's trace events to PATH "
+        add_exec_flags(sp, seed=2 if name in ("table5", "table6") else 1,
+                       jobs=True, set_=True, campaign_dir=True,
+                       trace="write the batch's trace events to PATH "
                              "(.jsonl or .jsonl.gz); view with "
                              "'repro report PATH'")
-        add_set_option(sp)
 
     dy = sub.add_parser(
         "dynamics",
@@ -446,13 +554,9 @@ def build_parser() -> argparse.ArgumentParser:
     dy.add_argument("--schedules", metavar="NAMES", default=None,
                     help="comma-separated scenario subset (default: "
                          f"{','.join(dynamics.SCENARIOS)})")
-    dy.add_argument("--seed", type=int, default=1)
-    dy.add_argument("--jobs", type=int, default=1, metavar="N",
-                    help="worker processes (results identical for any N)")
-    dy.add_argument("--trace", metavar="PATH", default=None,
-                    help="write the sweep's trace events to PATH; fault "
+    add_exec_flags(dy, seed=1, jobs=True, set_=True, campaign_dir=True,
+                   trace="write the sweep's trace events to PATH; fault "
                          "phases show up in 'repro report PATH'")
-    add_set_option(dy)
 
     sub.add_parser("list", help="list experiments")
 
@@ -461,7 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--workload",
                         choices=("greedy", "trace_clocked", "fixed_clocked"),
                         default="greedy")
-        sp.add_argument("--adaptation", choices=sorted(_ADAPTATIONS),
+        sp.add_argument("--adaptation", choices=sorted(ADAPTATIONS),
                         default="none")
         sp.add_argument("--frames", type=int, default=2000)
         sp.add_argument("--frame-size", type=int, default=1400)
@@ -470,22 +574,16 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--vbr", type=float, default=0.0)
         sp.add_argument("--tolerance", type=float, default=None)
         sp.add_argument("--rtt", type=float, default=0.030)
-        sp.add_argument("--seed", type=int, default=1)
         sp.add_argument("--time-cap", type=float, default=600.0)
-        add_set_option(sp)
+        add_exec_flags(sp, seed=1, set_=True)
 
     sc = sub.add_parser("scenario", help="run a custom scenario")
     add_scenario_options(sc)
-    sc.add_argument("--trace", metavar="PATH", default=None,
-                    help="write this run's trace events to PATH (forces a "
-                         "fresh, uncached run)")
-    sc.add_argument("--telemetry", type=float, metavar="CADENCE_S",
-                    default=None,
-                    help="sample per-flow/queue/link time series every "
-                         "CADENCE_S sim-seconds (rides in the saved result)")
-    sc.add_argument("--save", metavar="PATH", default=None,
-                    help="pickle the (detached) result to PATH for "
-                         "'repro compare' / 'repro metrics'")
+    add_exec_flags(sc, telemetry=True,
+                   trace="write this run's trace events to PATH (forces a "
+                         "fresh, uncached run)",
+                   save="pickle the (detached) result to PATH for "
+                        "'repro compare' / 'repro metrics'")
 
     pp = sub.add_parser(
         "population",
@@ -589,8 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
     ln.add_argument("--load", metavar="PATH", default=None,
                     help="render lineage from a saved result pickle "
                          "instead of running a scenario")
-    ln.add_argument("--save", metavar="PATH", default=None,
-                    help="pickle the (detached) result to PATH")
+    add_exec_flags(ln, save="pickle the (detached) result to PATH")
 
     fo = sub.add_parser(
         "forensics",
@@ -600,6 +697,61 @@ def build_parser() -> argparse.ArgumentParser:
     fo.add_argument("path", help="pickled result or fuzz forensics JSON")
     fo.add_argument("--limit", type=int, default=None, metavar="N",
                     help="show at most the newest N flight events")
+
+    ca = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns: a spec (template x axes x "
+             "seeds) expands to a cell grid executed by work-stealing "
+             "workers over a shared directory (resumable, multi-process, "
+             "multi-host)")
+    casub = ca.add_subparsers(dest="action", required=True)
+
+    def add_campaign_exec_flags(sp):
+        sp.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes splitting the cell grid "
+                             "(default 1; results identical for any N)")
+        sp.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-cell wall-clock budget in seconds")
+        sp.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts for transient failures "
+                             "(timeout / worker-lost)")
+
+    car = casub.add_parser(
+        "run", help="expand a campaign spec and run (or resume) it")
+    car.add_argument("spec", help="campaign spec file (.toml/.yaml/.json)")
+    car.add_argument("--dir", metavar="DIR", default=None,
+                     help="campaign directory holding claims and results; "
+                          "required for resume, multi-worker and "
+                          "multi-host execution")
+    add_campaign_exec_flags(car)
+    add_exec_flags(car, set_=True)
+
+    crs = casub.add_parser(
+        "resume",
+        help="continue an interrupted campaign from its directory's "
+             "stored spec (finished cells are never re-executed)")
+    crs.add_argument("dir", help="campaign directory")
+    add_campaign_exec_flags(crs)
+
+    cst = casub.add_parser("status",
+                           help="progress of a campaign directory")
+    cst.add_argument("dir", help="campaign directory")
+    cst.add_argument("--json", action="store_true",
+                     help="emit the status as JSON")
+
+    crp = casub.add_parser(
+        "report",
+        help="aggregate a campaign directory: per-axis summary stats and "
+             "failures by kind")
+    crp.add_argument("dir", help="campaign directory")
+    crp.add_argument("--metrics", metavar="NAMES", default=None,
+                     help="comma-separated summary metrics to aggregate "
+                          "(default: the spec's list, else duration/"
+                          "throughput/inter-arrival/jitter)")
+    crp.add_argument("--json", action="store_true",
+                     help="emit the full deterministic report as JSON")
+    crp.add_argument("--prom", action="store_true",
+                     help="emit Prometheus text exposition instead")
 
     rp = sub.add_parser("report",
                         help="render timeline + coordination audit for a "
@@ -643,6 +795,15 @@ def main(argv: list[str] | None = None) -> int:
             return _run_compare_cmd(args)
         elif args.command == "metrics":
             print(_run_metrics_cmd(args), end="")
+        elif args.command == "campaign":
+            if args.action == "run":
+                return _run_campaign_cmd(args)
+            if args.action == "resume":
+                return _resume_campaign_cmd(args)
+            if args.action == "status":
+                print(_status_campaign_cmd(args))
+            else:
+                print(_report_campaign_cmd(args))
         elif args.command == "report":
             print(_run_report_cmd(args))
         else:
@@ -651,6 +812,11 @@ def main(argv: list[str] | None = None) -> int:
         # Reports are long; ``repro report ... | head`` is normal usage.
         import os
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except KeyboardInterrupt:
+        print("\ninterrupted; completed rows are preserved -- re-run the "
+              "same command to resume (campaign directory / results cache)",
+              file=sys.stderr)
+        return 130
     except (ValueError, FileNotFoundError) as exc:
         # Config mistakes (bad --set keys/values, unknown schedule names,
         # missing artifact paths) are user errors: no traceback.

@@ -59,13 +59,16 @@ def _table1_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 def run_table1(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None) -> dict[str, ScenarioResult]:
+               overrides: dict | None = None,
+               campaign_dir: str | None = None) -> dict[str, ScenarioResult]:
     """Run all four Table 1 rows; returns row-name -> ScenarioResult.
 
     ``overrides`` are ``ScenarioConfig.replace`` overrides applied to every
-    row (the CLI's ``--set key=value`` path); same for every ``run_table*``.
+    row (the CLI's ``--set key=value`` path); ``campaign_dir`` routes the
+    rows through a shared campaign directory for claim/resume semantics
+    (see :mod:`repro.campaign`); same for every ``run_table*``.
     """
-    from ..runner import run_batch
+    from ..campaign import run_rows
     base = _table1_config(n_frames, seed)
     if overrides:
         base = base.replace(**overrides)
@@ -78,14 +81,16 @@ def run_table1(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
         "IQ-RUDP w/ app adaptation(4)": base.replace(
             transport="iq", adaptation=_adaptation),
     }
-    return run_batch(rows, jobs=jobs, cache=cache, trace=trace)
+    return run_rows(rows, name="table1", dir=campaign_dir, jobs=jobs,
+                    cache=cache, trace=trace)
 
 
 def run_table2(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None) -> dict[str, ScenarioResult]:
+               overrides: dict | None = None,
+               campaign_dir: str | None = None) -> dict[str, ScenarioResult]:
     """Fairness: the greedy application against a TCP bulk competitor."""
-    from ..runner import run_batch
+    from ..campaign import run_rows
     base = ScenarioConfig(
         workload="greedy", n_frames=n_frames, base_frame_size=1400,
         tcp_cross_bytes=500_000_000, seed=seed, time_cap=300.0)
@@ -95,7 +100,8 @@ def run_table2(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
         "TCP": base.replace(transport="tcp"),
         "IQ-RUDP": base.replace(transport="iq"),
     }
-    return run_batch(rows, jobs=jobs, cache=cache, trace=trace)
+    return run_rows(rows, name="table2", dir=campaign_dir, jobs=jobs,
+                    cache=cache, trace=trace)
 
 
 def table_metrics(res: ScenarioResult) -> tuple[float, float, float, float]:

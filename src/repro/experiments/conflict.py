@@ -79,30 +79,32 @@ def _changing_net_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 def run_table3(*, n_frames: int = 250, seed: int = 1, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None) -> dict[str, ScenarioResult]:
+               overrides: dict | None = None,
+               campaign_dir: str | None = None) -> dict[str, ScenarioResult]:
     """Conflict, changing application: IQ-RUDP vs RUDP."""
-    from ..runner import run_batch
+    from ..campaign import run_rows
     base = _changing_app_config(n_frames, seed)
     if overrides:
         base = base.replace(**overrides)
-    return run_batch({
+    return run_rows({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache, trace=trace)
+    }, name="table3", dir=campaign_dir, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_table4(*, n_frames: int = 6000, seed: int = 1, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None) -> dict[str, ScenarioResult]:
+               overrides: dict | None = None,
+               campaign_dir: str | None = None) -> dict[str, ScenarioResult]:
     """Conflict, changing network: IQ-RUDP vs RUDP."""
-    from ..runner import run_batch
+    from ..campaign import run_rows
     base = _changing_net_config(n_frames, seed)
     if overrides:
         base = base.replace(**overrides)
-    return run_batch({
+    return run_rows({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache, trace=trace)
+    }, name="table4", dir=campaign_dir, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_figure23(*, n_frames: int = 6000, seed: int = 1, cbr_start: float = 2.0,

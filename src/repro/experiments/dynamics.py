@@ -124,7 +124,8 @@ def run_dynamics(*, schedules: tuple[str, ...] | None = None,
                  transports: tuple[str, ...] = DYNAMICS_TRANSPORTS,
                  n_frames: int = 250, seed: int = 1, jobs: int = 1,
                  cache=None, trace: str | None = None,
-                 overrides: dict | None = None
+                 overrides: dict | None = None,
+                 campaign_dir: str | None = None
                  ) -> dict[str, dict[str, ScenarioResult]]:
     """Run every (scenario, transport) cell; returns
     ``{scenario: {transport: ScenarioResult}}``.
@@ -132,8 +133,10 @@ def run_dynamics(*, schedules: tuple[str, ...] | None = None,
     ``overrides`` are ``ScenarioConfig.replace`` keyword overrides applied
     to every cell (the CLI's ``--set key=value`` path); they take
     precedence over the per-scenario calibration overrides.
+    ``campaign_dir`` routes the sweep through a shared campaign directory
+    for claim/resume semantics (see :mod:`repro.campaign`).
     """
-    from ..runner import run_batch
+    from ..campaign import run_rows
     names = tuple(schedules) if schedules else tuple(SCENARIOS)
     for name in names:
         if name not in SCENARIOS:
@@ -148,7 +151,8 @@ def run_dynamics(*, schedules: tuple[str, ...] | None = None,
             cell = cell.replace(**overrides)
         for tp in transports:
             rows[f"{name}/{tp}"] = cell.replace(transport=tp)
-    flat = run_batch(rows, jobs=jobs, cache=cache, trace=trace)
+    flat = run_rows(rows, name="dynamics", dir=campaign_dir, jobs=jobs,
+                    cache=cache, trace=trace)
     return {name: {tp: flat[f"{name}/{tp}"] for tp in transports}
             for name in names}
 

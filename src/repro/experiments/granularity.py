@@ -73,35 +73,37 @@ def _changing_net_config(n_frames: int, seed: int) -> ScenarioConfig:
 
 def run_table7(*, n_frames: int = 8000, seed: int = 1, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None) -> dict[str, ScenarioResult]:
+               overrides: dict | None = None,
+               campaign_dir: str | None = None) -> dict[str, ScenarioResult]:
     """Granularity, changing application: IQ (w/o ADAPT_COND) vs RUDP.
 
     The paper only runs scheme (2) here because with a changing application
     "eratio usually does not change a lot" during the delay.
     """
-    from ..runner import run_batch
+    from ..campaign import run_rows
     base = _changing_app_config(n_frames, seed)
     if overrides:
         base = base.replace(**overrides)
-    return run_batch({
+    return run_rows({
         "IQ-RUDP w/o ADAPT_COND": base.replace(transport="iq_nocond"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache, trace=trace)
+    }, name="table7", dir=campaign_dir, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_table8(*, n_frames: int = 6000, seed: int = 1, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None) -> dict[str, ScenarioResult]:
+               overrides: dict | None = None,
+               campaign_dir: str | None = None) -> dict[str, ScenarioResult]:
     """Granularity, changing network: all three schemes on the long path."""
-    from ..runner import run_batch
+    from ..campaign import run_rows
     base = _changing_net_config(n_frames, seed)
     if overrides:
         base = base.replace(**overrides)
-    return run_batch({
+    return run_rows({
         "IQ-RUDP w/ ADAPT_COND": base.replace(transport="iq"),
         "IQ-RUDP w/o ADAPT_COND": base.replace(transport="iq_nocond"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache, trace=trace)
+    }, name="table8", dir=campaign_dir, jobs=jobs, cache=cache, trace=trace)
 
 
 def granularity_metrics(res: ScenarioResult) -> tuple[float, ...]:

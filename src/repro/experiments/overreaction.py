@@ -77,28 +77,30 @@ def _changing_net_config(cbr_bps: float, n_frames: int, seed: int
 
 def run_table5(*, n_frames: int = 8000, seed: int = 2, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None) -> dict[str, ScenarioResult]:
-    from ..runner import run_batch
+               overrides: dict | None = None,
+               campaign_dir: str | None = None) -> dict[str, ScenarioResult]:
+    from ..campaign import run_rows
     base = _changing_app_config(n_frames, seed)
     if overrides:
         base = base.replace(**overrides)
-    return run_batch({
+    return run_rows({
         "IQ-RUDP": base.replace(transport="iq"),
         "RUDP": base.replace(transport="rudp"),
-    }, jobs=jobs, cache=cache, trace=trace)
+    }, name="table5", dir=campaign_dir, jobs=jobs, cache=cache, trace=trace)
 
 
 def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
                n_frames: int = 12000, seed: int = 2, jobs: int = 1,
                cache=None, trace: str | None = None,
-               overrides: dict | None = None
+               overrides: dict | None = None,
+               campaign_dir: str | None = None
                ) -> dict[int, dict[str, ScenarioResult]]:
     """The congestion sweep; same VBR cross traffic across rates.
 
     All six (rate, scheme) runs are independent, so the whole sweep fans
     out as one flat batch before reshaping into the nested table form.
     """
-    from ..runner import run_batch
+    from ..campaign import run_rows
     configs: dict[tuple[int, str], ScenarioConfig] = {}
     for rate in rates_mbps:
         base = _changing_net_config(rate * 1e6, n_frames, seed)
@@ -106,7 +108,8 @@ def run_table6(*, rates_mbps: tuple[int, ...] = (12, 16, 18),
             base = base.replace(**overrides)
         configs[(rate, "IQ-RUDP")] = base.replace(transport="iq")
         configs[(rate, "RUDP")] = base.replace(transport="rudp")
-    flat = run_batch(configs, jobs=jobs, cache=cache, trace=trace)
+    flat = run_rows(configs, name="table6", dir=campaign_dir, jobs=jobs,
+                    cache=cache, trace=trace)
     out: dict[int, dict[str, ScenarioResult]] = {}
     for (rate, name), res in flat.items():
         out.setdefault(rate, {})[name] = res

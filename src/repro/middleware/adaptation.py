@@ -307,3 +307,48 @@ class FrequencyAdaptation(AdaptationStrategy):
 
     def on_lower(self, eratio: float, metrics: dict) -> AttributeSet | None:
         return self._change(self.freq_scale * (1.0 + self.increase))
+
+
+# ---------------------------------------------------------------------------
+# Named default-parameter factories.
+#
+# The CLI and the campaign spec language refer to adaptation strategies by
+# name; these module-level factories are the registry targets.  Being real
+# module-level functions (not lambdas) they carry a stable
+# ``module.qualname`` identity, so configs built from them hash through
+# ``repro.runner.hashing.callable_token`` and are served by the persistent
+# results cache -- a campaign cell *must* be stably hashable.
+
+def resolution_default() -> ResolutionAdaptation:
+    """Resolution adaptation with the repo's default thresholds."""
+    return ResolutionAdaptation(upper=0.05, lower=0.005)
+
+
+def marking_default() -> MarkingAdaptation:
+    """Marking adaptation with the repo's default thresholds."""
+    return MarkingAdaptation(upper=0.05, lower=0.01)
+
+
+def delayed_resolution_default() -> DelayedResolutionAdaptation:
+    """Delayed resolution adaptation with the repo's default thresholds."""
+    return DelayedResolutionAdaptation(boundary=400, upper=0.05, lower=0.005)
+
+
+def frequency_default() -> FrequencyAdaptation:
+    """Frequency adaptation with the repo's default thresholds."""
+    return FrequencyAdaptation(upper=0.05, lower=0.005)
+
+
+#: Name -> factory registry shared by the CLI (``--adaptation``) and the
+#: campaign spec language (``adaptation = "resolution"``).  ``"none"``
+#: maps to None: no application adaptation.
+ADAPTATIONS: dict = {
+    "none": None,
+    "resolution": resolution_default,
+    "marking": marking_default,
+    "delayed": delayed_resolution_default,
+    "frequency": frequency_default,
+}
+
+__all__ += ["ADAPTATIONS", "resolution_default", "marking_default",
+            "delayed_resolution_default", "frequency_default"]

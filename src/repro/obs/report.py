@@ -27,7 +27,19 @@ from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
 from .sinks import read_trace
 
 __all__ = ["coordination_audit", "render_timeline", "render_report",
-           "report_json", "TIMELINE_EVENTS"]
+           "report_json", "failures_by_kind", "TIMELINE_EVENTS"]
+
+
+def failures_by_kind(kinds: Iterable[str]) -> dict[str, int]:
+    """Count failure kinds into a deterministically ordered dict.
+
+    Shared by the trace report (failure kinds read from run-head metadata)
+    and the campaign aggregator (kinds read from ``FailedResult.kind``
+    rows), so both speak the same ``{"by_kind": {...}}`` dialect."""
+    counts: dict[str, int] = {}
+    for kind in kinds:
+        counts[kind] = counts.get(kind, 0) + 1
+    return dict(sorted(counts.items()))
 
 #: Event types the timeline shows by default -- the two control loops and
 #: their coupling, without the per-packet firehose.
@@ -258,14 +270,13 @@ def report_json(path, *, run: str | None = None, limit: int | None = None,
             raise ValueError(f"run {run!r} not found in {path}")
     wanted = TIMELINE_EVENTS if types is None else (frozenset(types) or None)
     out_runs = []
-    failures_by_kind: dict[str, int] = {}
+    failed_kinds: list[str] = []
     for entry in runs:
         # Cached and failed runs ship no event stream.
         events = entry["events"] or []
         meta_dict = entry.get("meta") or {}
         if meta_dict.get("failed"):
-            kind = str(meta_dict.get("failed_kind", "error"))
-            failures_by_kind[kind] = failures_by_kind.get(kind, 0) + 1
+            failed_kinds.append(str(meta_dict.get("failed_kind", "error")))
         picked = [ev for ev in events
                   if wanted is None or ev.get("event") in wanted]
         if limit is not None and len(picked) > limit:
@@ -281,6 +292,6 @@ def report_json(path, *, run: str | None = None, limit: int | None = None,
     return {"path": str(path),
             "format": header.get("format"),
             "version": header.get("version"),
-            "failures": {"total": sum(failures_by_kind.values()),
-                         "by_kind": dict(sorted(failures_by_kind.items()))},
+            "failures": {"total": len(failed_kinds),
+                         "by_kind": failures_by_kind(failed_kinds)},
             "runs": out_runs}

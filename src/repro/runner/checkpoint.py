@@ -34,10 +34,19 @@ _MAGIC = "v1"
 
 
 class SweepJournal:
-    """Append-only journal of ``(config key, result)`` completions."""
+    """Append-only journal of ``(config key, result)`` completions.
 
-    def __init__(self, path: str | os.PathLike):
+    ``expect`` names the result type(s) a frame may carry; the default
+    (:class:`ScenarioResult` only) preserves the sweep-checkpoint contract
+    that failures are never journaled.  The campaign layer passes
+    ``expect=(ScenarioResult, FailedResult)`` so a worker's completion
+    journal records deterministic failures too.
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 expect: type | tuple[type, ...] = ScenarioResult):
         self.path = pathlib.Path(path)
+        self.expect = expect
         self._fh = None
 
     # ------------------------------------------------------------------
@@ -63,7 +72,7 @@ class SweepJournal:
                 if (not isinstance(frame, tuple) or len(frame) != 3
                         or frame[0] != _MAGIC
                         or not isinstance(frame[1], str)
-                        or not isinstance(frame[2], ScenarioResult)):
+                        or not isinstance(frame[2], self.expect)):
                     break
                 done[frame[1]] = frame[2]
                 good_end = fh.tell()
@@ -74,7 +83,7 @@ class SweepJournal:
         return done
 
     # ------------------------------------------------------------------
-    def append(self, key: str, result: ScenarioResult) -> None:
+    def append(self, key: str, result) -> None:
         """Record one completion (flushed immediately so a later kill
         cannot lose it)."""
         if self._fh is None:

@@ -143,3 +143,56 @@ def test_parse_overrides_feed_scenario_validation():
     out = parse_overrides(["transprot=iq"])
     with pytest.raises(ValueError, match="did you mean"):
         _small().replace(**out)
+
+
+# ----------------------------------------------------------------------
+# sweep() input forms (the generalised collection API)
+# ----------------------------------------------------------------------
+def test_sweep_accepts_list_and_generator_in_order():
+    tiny = _small(n_frames=5)
+    scs = [tiny.replace(seed=s) for s in (3, 1, 2)]
+    as_list = sweep(scs, cache=False)
+    assert isinstance(as_list, list) and len(as_list) == 3
+    as_gen = sweep((sc for sc in scs), cache=False)
+    # Insertion order, not seed order -- and both forms agree.
+    assert [r.summary for r in as_gen] == [r.summary for r in as_list]
+
+
+def test_sweep_scenarios_keyword_is_deprecated_but_works():
+    tiny = _small(n_frames=5)
+    with pytest.warns(DeprecationWarning, match="positionally"):
+        out = sweep(scenarios={"a": tiny}, cache=False)
+    assert list(out) == ["a"]
+    with pytest.raises(TypeError, match="both positionally and"):
+        sweep([tiny], scenarios=[tiny])
+    with pytest.raises(TypeError, match="missing required argument"):
+        sweep()
+
+
+def test_sweep_rejects_single_scenario_and_non_iterables():
+    with pytest.raises(TypeError, match="single scenario use run"):
+        sweep(_small())
+    with pytest.raises(TypeError, match="mapping or iterable"):
+        sweep(42)
+
+
+# ----------------------------------------------------------------------
+# Campaign facade re-exports
+# ----------------------------------------------------------------------
+def test_package_root_reexports_campaign_api():
+    from repro.api import Campaign, load_campaign, run_campaign
+    assert repro.Campaign is Campaign
+    assert repro.run_campaign is run_campaign
+    assert repro.load_campaign is load_campaign
+
+
+def test_campaign_facade_round_trip():
+    camp = repro.load_campaign({
+        "name": "facade",
+        "template": {"workload": "greedy", "n_frames": 5,
+                     "time_cap": 30.0},
+        "axes": {"transport": ["tcp", "iq"]},
+    })
+    assert isinstance(camp, repro.Campaign)
+    run_ = repro.run_campaign(camp, cache=False)
+    assert run_.complete and len(run_.results) == 2
