@@ -1,0 +1,104 @@
+"""Cost of the FEC repair tier on the *disarmed* path.
+
+A scenario without a :class:`~repro.transport.fec.FecConfig` must not pay
+for the repair machinery it is not using.  The machinery cannot be
+compiled out, though: every datagram the sender pumps passes the falsy
+``pkt.deadline`` check and the ``fec_tx is None`` enrollment guard, every
+packet the receiver accepts passes the ``pkt.fec is None`` routing check
+and the ``fec is None`` progress-recheck guard, and every
+:class:`~repro.sim.packet.Packet` construction/copy initialises the two
+extra ``fec``/``deadline`` slots.
+
+As with ``bench_fault_overhead`` the overhead is measured compositionally
+-- per-guard cost x a generous guards-per-packet count, against the
+measured per-packet cost of a full RUDP transfer -- because the guards
+are interleaved with real work and cannot be toggled at runtime.  The
+committed baseline gates the estimate at <= 3%
+(``fec_overhead_pct_max`` in ``perf_baseline.json``).
+"""
+
+import time
+
+from repro.middleware.receiver import DeliveryLog
+from repro.sim.engine import Simulator
+from repro.sim.topology import Dumbbell
+from repro.transport.rudp import RudpConnection
+
+#: Disarmed guard points a data packet crosses end to end: the deadline
+#: check and the ``fec_tx is None`` enrollment guard in the sender's
+#: pump, the ``pkt.fec is None`` routing check and the ``fec is None``
+#: progress guard on the receive path, plus the two extra slot
+#: initialisations per Packet construction and per retransmit copy.
+#: Deliberately generous -- the estimate below multiplies by it.
+GUARDS_PER_PACKET = 8
+
+
+def _best_s(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_fec_overhead(benchmark, perf_record):
+    """Disarmed-path FEC guard cost as a fraction of real per-packet
+    work."""
+    # -- per-guard cost: slot read + None/falsy check -----------------------
+    n = 200_000
+
+    class _PacketShape:
+        __slots__ = ("fec", "deadline")
+
+        def __init__(self):
+            self.fec = None
+            self.deadline = 0.0
+
+    pkt = _PacketShape()
+
+    def guarded_loop():
+        acc = 0
+        for _ in range(n):
+            if pkt.fec is None and not pkt.deadline:
+                acc += 1
+        return acc
+
+    def plain_loop():
+        acc = 0
+        for _ in range(n):
+            acc += 1
+        return acc
+
+    # guarded_loop performs two checks per iteration; normalise to one.
+    guard_ns = max(_best_s(guarded_loop) - _best_s(plain_loop), 0.0) \
+        / (2 * n) * 1e9
+
+    # -- per-packet cost of the full stack (FEC disarmed) -------------------
+    n_pkts = 5000
+
+    def transfer():
+        sim = Simulator()
+        net = Dumbbell(sim)
+        snd, rcv = net.add_flow_hosts("f")
+        log = DeliveryLog()
+        conn = RudpConnection(sim, snd, rcv, on_deliver=log.on_deliver)
+        assert conn.fec is None
+        for i in range(n_pkts):
+            conn.submit(1400, frame_id=i)
+        conn.finish()
+        sim.run(until=120.0)
+        assert conn.completed
+        return len(log)
+
+    packet_ns = _best_s(transfer) / n_pkts * 1e9
+    fec_overhead_pct = 100.0 * guard_ns * GUARDS_PER_PACKET / packet_ns
+
+    perf_record("fec_overhead",
+                guard_ns=round(guard_ns, 3),
+                packet_ns=round(packet_ns, 1),
+                fec_overhead_pct=round(fec_overhead_pct, 4))
+    assert fec_overhead_pct < 3.0, (
+        f"disarmed-path FEC guard overhead {fec_overhead_pct:.2f}% exceeds "
+        "the 3% budget")
+    assert benchmark(transfer) == n_pkts

@@ -53,6 +53,7 @@ from ..api import Scenario
 from ..experiments.common import ScenarioConfig
 from ..middleware.adaptation import ADAPTATIONS
 from ..runner.hashing import callable_token, config_fingerprint
+from ..transport.fec import FecConfig
 
 __all__ = ["Campaign", "CampaignCell", "load_campaign", "cell_key",
            "stable_value"]
@@ -122,6 +123,10 @@ def _coerce(field: str, value: Any) -> Any:
                 f"unknown fault schedule {_did_you_mean(value, SCHEDULES)}; "
                 f"available: {', '.join(sorted(SCHEDULES))}")
         return SCHEDULES[value]
+    if field == "fec" and isinstance(value, str):
+        # "8/2", "8/2/4", "8/2/static", "none" -- never literal_eval'd
+        # (the "K/R" shape would parse as division).
+        return FecConfig.parse(value)
     if isinstance(value, str):
         try:
             return ast.literal_eval(value)

@@ -9,6 +9,7 @@ Examples
     python -m repro table6 --jobs 4        # fan rows across 4 processes
     python -m repro table3 --set cbr_bps=16e6   # override any config field
     python -m repro dynamics --jobs 4      # network-dynamics sweeps
+    python -m repro reliability --jobs 4   # FEC repair tier vs ARQ-only
     python -m repro fuzz --budget 25 --seed 4   # differential fuzz sweep
     python -m repro list                   # what's available
     python -m repro scenario --transport iq --workload greedy \
@@ -38,7 +39,8 @@ import sys
 from typing import Callable
 
 from .analysis.tables import render_comparison, render_table
-from .experiments import baseline, conflict, dynamics, granularity, overreaction
+from .experiments import (baseline, conflict, dynamics, granularity,
+                          overreaction, reliability)
 from .experiments.common import TRANSPORTS
 from .middleware.adaptation import ADAPTATIONS
 
@@ -178,6 +180,16 @@ def _run_dynamics(args) -> str:
         trace=args.trace, overrides=parse_overrides(args.set),
         campaign_dir=args.campaign_dir)
     return dynamics.render_dynamics(res)
+
+
+def _run_reliability(args) -> str:
+    schedules = tuple(args.schedules.split(",")) if args.schedules else None
+    res = reliability.run_reliability(
+        schedules=schedules, n_frames=args.frames, seed=args.seed,
+        jobs=args.jobs, trace=args.trace,
+        overrides=parse_overrides(args.set),
+        campaign_dir=args.campaign_dir)
+    return reliability.render_reliability(res)
 
 
 def _build_scenario(args):
@@ -558,6 +570,22 @@ def build_parser() -> argparse.ArgumentParser:
                    trace="write the sweep's trace events to PATH; fault "
                          "phases show up in 'repro report PATH'")
 
+    rl = sub.add_parser(
+        "reliability",
+        help="application-tailored reliability sweeps: FEC repair tier vs "
+             "ARQ-only IQ-RUDP under bursty loss and handover blackouts")
+    rl.add_argument("--schedules", metavar="NAMES", default=None,
+                    help="comma-separated scenario subset (default: "
+                         f"{','.join(reliability.SCENARIOS)})")
+    rl.add_argument("--frames", type=int, default=250, metavar="N",
+                    help="trace frames offered per cell (default 250; "
+                         "keep >= 150 so every arm is still active when "
+                         "the faults land)")
+    add_exec_flags(rl, seed=1, jobs=True, set_=True, campaign_dir=True,
+                   trace="write the sweep's trace events to PATH; FEC "
+                         "repair/recovery events show up in "
+                         "'repro report PATH' and 'repro lineage'")
+
     sub.add_parser("list", help="list experiments")
 
     def add_scenario_options(sp):
@@ -775,10 +803,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "list":
             print("experiments:", ", ".join(EXPERIMENTS))
             print("dynamics scenarios:", ", ".join(dynamics.SCENARIOS))
+            print("reliability scenarios:",
+                  ", ".join(reliability.SCENARIOS))
             print("plus: scenario (custom runs), population "
                   "(burst/fluid scale tier); see --help")
         elif args.command == "dynamics":
             print(_run_dynamics(args))
+        elif args.command == "reliability":
+            print(_run_reliability(args))
         elif args.command == "scenario":
             print(_run_scenario_cmd(args))
         elif args.command == "population":

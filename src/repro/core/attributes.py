@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterator, Mapping
 
 __all__ = [
     "ADAPT_FREQ", "ADAPT_MARK", "ADAPT_PKTSIZE", "ADAPT_WHEN", "ADAPT_COND",
+    "ADAPT_FEC",
     "NET_ERROR_RATIO", "NET_RATE", "NET_RTT", "NET_CWND", "RELIABILITY_TOLERANCE",
     "AttributeSet", "AttributeService",
 ]
@@ -41,6 +42,10 @@ ADAPT_WHEN = "ADAPT_WHEN"
 #: ``error_ratio`` and ``rate`` (paper: "including the error ratio and the
 #: average data rate").
 ADAPT_COND = "ADAPT_COND"
+#: Requested FEC repair redundancy: repair segments per generation the
+#: application wants the transport to emit (clamped by the transport to its
+#: configured ``[r, r_max]`` band; ignored when FEC is disarmed).
+ADAPT_FEC = "ADAPT_FEC"
 
 # -- Transport-exported metrics ---------------------------------------------
 NET_ERROR_RATIO = "NET_ERROR_RATIO"

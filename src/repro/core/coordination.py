@@ -47,8 +47,8 @@ drifted while the adaptation was pending.
 from __future__ import annotations
 
 from ..obs.events import ATTR_RECEIVED, COORD_ACTION
-from .attributes import (ADAPT_COND, ADAPT_FREQ, ADAPT_MARK, ADAPT_PKTSIZE,
-                         ADAPT_WHEN, AttributeSet)
+from .attributes import (ADAPT_COND, ADAPT_FEC, ADAPT_FREQ, ADAPT_MARK,
+                         ADAPT_PKTSIZE, ADAPT_WHEN, AttributeSet)
 
 __all__ = ["Coordinator", "NullCoordinator", "IQCoordinator"]
 
@@ -73,6 +73,11 @@ class Coordinator:
 
     def on_resume(self, now: float) -> None:
         """Forward progress resumed after a stall.  Default: no reaction."""
+
+    def on_period(self, pm) -> None:
+        """One metric period rolled (the sender's measuring-period tick);
+        ``pm`` is the :class:`~repro.core.metrics_export.PeriodMetrics`
+        snapshot.  Default: no reaction."""
 
 
 class NullCoordinator(Coordinator):
@@ -110,7 +115,16 @@ class IQCoordinator(Coordinator):
         self.freq_adaptations = 0
         self.stalls = 0
         self.stall_recoveries = 0
+        self.fec_adaptations = 0
+        self.fec_boosts = 0
         self._discard_before_stall: bool | None = None
+        # Redundancy-controller state (inert unless the sender's FEC tier
+        # is armed and adaptive).
+        self._fec_r_before_stall: int | None = None
+        self._fec_last_recovered = 0
+        self._fec_last_unrecoverable = 0
+        self._fec_clean_periods = 0
+        self._fec_min_rtt: float | None = None
 
     # ------------------------------------------------------------------
     def on_callback_result(self, attrs: AttributeSet) -> None:
@@ -130,7 +144,10 @@ class IQCoordinator(Coordinator):
     # ------------------------------------------------------------------
     def on_stall(self, now: float) -> None:
         snd = self.sender
-        if snd is None or not self.enable_discard:
+        if snd is None:
+            return
+        self._fec_stall_boost(snd, now)
+        if not self.enable_discard:
             return
         self.stalls += 1
         if self._discard_before_stall is None:
@@ -157,7 +174,10 @@ class IQCoordinator(Coordinator):
 
     def on_resume(self, now: float) -> None:
         snd = self.sender
-        if snd is None or self._discard_before_stall is None:
+        if snd is None:
+            return
+        self._fec_stall_relax(snd, now)
+        if self._discard_before_stall is None:
             return
         self.stall_recoveries += 1
         snd.discard_unmarked = self._discard_before_stall
@@ -180,6 +200,124 @@ class IQCoordinator(Coordinator):
             tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
                     action="stall_recover",
                     discard_unmarked=snd.discard_unmarked)
+
+    # ------------------------------------------------------------------
+    # FEC redundancy coordination.  The coding rate is a quality attribute
+    # like any other: the application can set it (ADAPT_FEC below), and
+    # the coordinator re-adapts it from observed loss/stall telemetry --
+    # more repair segments inside loss bursts and around blackouts, shed
+    # back to the configured base once the loss estimator clears.  All of
+    # it is inert unless the connection armed a FEC tier.
+    # ------------------------------------------------------------------
+    def _fec_emit(self, snd, now: float, action: str, **fields) -> None:
+        """The four-surface emission pattern for transport-initiated FEC
+        actions (no ``attr_seq``: no attribute exchange caused them)."""
+        sp = getattr(snd, "spans", None)
+        if sp is not None:
+            sp.on_action(None, action, **fields)
+        fl = getattr(snd, "flight", None)
+        if fl is not None:
+            fl.note("coord", "ACTION", flow=snd.flow_id, action=action,
+                    **fields)
+        tm = getattr(snd, "telemetry", None)
+        if tm is not None:
+            tm.annotate(now, action, **fields)
+        tr = getattr(snd, "trace", None)
+        if tr is not None and tr.enabled:
+            tr.emit("coord", COORD_ACTION, flow=snd.flow_id, action=action,
+                    **fields)
+
+    def _fec_stall_boost(self, snd, now: float) -> None:
+        fx = getattr(snd, "fec_tx", None)
+        if fx is None or not fx.state.cfg.adaptive:
+            return
+        state = fx.state
+        if self._fec_r_before_stall is None:
+            self._fec_r_before_stall = state.r
+        r_before = state.r
+        r_after = state.set_redundancy(state.cfg.r_max)
+        if r_after != r_before:
+            self.fec_boosts += 1
+            self._fec_emit(snd, now, "fec_boost", r_before=r_before,
+                           r_after=r_after)
+
+    def _fec_stall_relax(self, snd, now: float) -> None:
+        if self._fec_r_before_stall is None:
+            return
+        fx = getattr(snd, "fec_tx", None)
+        restore = self._fec_r_before_stall
+        self._fec_r_before_stall = None
+        if fx is None:
+            return
+        state = fx.state
+        r_before = state.r
+        # Generations flushed around the resume already went out at
+        # ``r_max`` (the boost covered the settle's first moments);
+        # restore the pre-stall rate and let the period controller
+        # re-raise only if the decoder shows the tail is still lossy --
+        # holding extra redundancy through the post-blackout backlog
+        # drain would steal bandwidth exactly when it is scarcest.
+        r_after = state.set_redundancy(restore)
+        if r_after != r_before:
+            self._fec_emit(snd, now, "fec_relax", r_before=r_before,
+                           r_after=r_after)
+
+    def on_period(self, pm) -> None:
+        snd = self.sender
+        if snd is None:
+            return
+        fx = getattr(snd, "fec_tx", None)
+        if fx is None or not fx.state.cfg.adaptive:
+            return
+        state = fx.state
+        recovered_delta = state.recovered - self._fec_last_recovered
+        self._fec_last_recovered = state.recovered
+        short_delta = state.unrecoverable - self._fec_last_unrecoverable
+        self._fec_last_unrecoverable = state.unrecoverable
+        if pm.blackout or self._fec_r_before_stall is not None:
+            # A dead link's ~100% loss says nothing about the coding rate
+            # the live path needs; the stall boost owns redundancy here.
+            return
+        meaningful = pm.sent >= snd.MIN_PERIOD_SAMPLES
+        eratio = pm.error_ratio if meaningful else 0.0
+        # Congestion discriminator: queue drops inflate the measured RTT
+        # (standing queue) while wire loss does not.  Redundancy must
+        # track *wire* loss only -- repair segments displace data at a
+        # saturated bottleneck, so raising ``r`` on congestion loss feeds
+        # the very drops it reacts to.
+        if pm.rtt > 0:
+            self._fec_min_rtt = (pm.rtt if self._fec_min_rtt is None
+                                 else min(self._fec_min_rtt, pm.rtt))
+        congested = (self._fec_min_rtt is not None
+                     and pm.rtt > 1.5 * self._fec_min_rtt)
+        r_before = state.r
+        if congested:
+            # Self-inflicted loss regime: shed straight toward the base
+            # rate; ARQ inside the recovered window is the cheaper tool.
+            self._fec_clean_periods = 0
+            r_after = (state.set_redundancy(r_before - 1)
+                       if r_before > state.cfg.r else r_before)
+        elif recovered_delta > 0 or short_delta > 0:
+            # The decoder is earning its keep (or arriving one repair
+            # short): the live path is bursty, add a repair segment.
+            self._fec_clean_periods = 0
+            r_after = state.set_redundancy(r_before + 1)
+        elif meaningful and eratio <= 0.005:
+            # Clean period; shed redundancy after a few in a row.
+            self._fec_clean_periods += 1
+            if self._fec_clean_periods >= 4 and r_before > state.cfg.r:
+                self._fec_clean_periods = 0
+                r_after = state.set_redundancy(r_before - 1)
+            else:
+                r_after = r_before
+        else:
+            r_after = r_before
+        if r_after != r_before:
+            self.fec_adaptations += 1
+            self._fec_emit(snd, snd.sim.now, "fec_redundancy",
+                           r_before=r_before, r_after=r_after,
+                           error_ratio=eratio, recovered=recovered_delta,
+                           congested=congested)
 
     # ------------------------------------------------------------------
     def _apply(self, attrs: AttributeSet) -> None:
@@ -253,6 +391,45 @@ class IQCoordinator(Coordinator):
                 tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
                         attr_seq=attr_seq, action="freq_no_window_change",
                         freq_chg=float(attrs[ADAPT_FREQ]))
+
+        if ADAPT_FEC in attrs:
+            requested = int(attrs[ADAPT_FEC])
+            fx = getattr(snd, "fec_tx", None)
+            if fx is not None:
+                state = fx.state
+                r_before = state.r
+                r_after = state.set_redundancy(requested)
+                changed = r_after != r_before
+                if changed:
+                    self.fec_adaptations += 1
+                    self._fec_clean_periods = 0
+                if sp is not None:
+                    sp.on_action(episode, "fec_redundancy",
+                                 requested=requested, r_before=r_before,
+                                 r_after=r_after, changed=changed)
+                if fl is not None:
+                    fl.note("coord", "ACTION", flow=snd.flow_id,
+                            action="fec_redundancy", requested=requested,
+                            r_before=r_before, r_after=r_after,
+                            changed=changed)
+                if traced:
+                    tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                            attr_seq=attr_seq, action="fec_redundancy",
+                            requested=requested, r_before=r_before,
+                            r_after=r_after, changed=changed)
+            else:
+                # The application asked for coding on a connection with no
+                # FEC tier: record the mismatch, change nothing.
+                if sp is not None:
+                    sp.on_action(episode, "fec_unavailable",
+                                 requested=requested)
+                if fl is not None:
+                    fl.note("coord", "ACTION", flow=snd.flow_id,
+                            action="fec_unavailable", requested=requested)
+                if traced:
+                    tr.emit("coord", COORD_ACTION, flow=snd.flow_id,
+                            attr_seq=attr_seq, action="fec_unavailable",
+                            requested=requested)
 
         if ADAPT_PKTSIZE in attrs and self.enable_reinflate:
             rate_chg = float(attrs[ADAPT_PKTSIZE])

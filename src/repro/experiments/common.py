@@ -39,6 +39,7 @@ import numpy as np
 from ..traffic.mbone import mbone_trace, trace_frame_sizes
 from ..traffic.vbr import VbrSource
 from ..transport.cc import FixedWindowCC, RenoCC
+from ..transport.fec import FecConfig
 from ..transport.iq_rudp import IqRudpConnection
 from ..transport.rudp import RudpConnection
 from ..transport.tcp import TcpConnection
@@ -95,7 +96,9 @@ class ScenarioConfig:
                  telemetry: TelemetryConfig | None = None,
                  burst: bool = False,
                  fluid_bps: float = 0.0,
-                 spans: bool = False):
+                 spans: bool = False,
+                 fec: FecConfig | str | None = None,
+                 frame_deadline_s: float = 0.0):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
         if workload not in ("trace_clocked", "greedy", "fixed_clocked"):
@@ -109,6 +112,12 @@ class ScenarioConfig:
                             f"got {type(telemetry).__name__}")
         if fluid_bps < 0:
             raise ValueError("fluid_bps must be non-negative")
+        fec = FecConfig.parse(fec)
+        if fec is not None and transport == "tcp":
+            raise ValueError("TCP has no FEC repair tier (fec requires a "
+                             "rudp-family transport)")
+        if frame_deadline_s < 0:
+            raise ValueError("frame_deadline_s must be non-negative")
         self.transport = transport
         self.workload = workload
         self.adaptation = adaptation
@@ -151,6 +160,15 @@ class ScenarioConfig:
         # flag is part of the config (and cache key) because the result
         # artifact differs: ``ScenarioResult.spans`` carries the lineage.
         self.spans = bool(spans)
+        # Application-tailored reliability (repro.transport.fec): a
+        # FecConfig arms the repair tier on the flow under test; the
+        # stable repr makes armed configs cache/fingerprint cleanly, and
+        # None leaves every code path bit-identical to pre-FEC behaviour.
+        self.fec = fec
+        # Per-frame delivery budget for deadline-aware scheduling (the
+        # AdaptiveSource stamps submit-time + this on every segment);
+        # 0.0 disables it.
+        self.frame_deadline_s = float(frame_deadline_s)
 
     def replace(self, **kw: Any) -> "ScenarioConfig":
         """Copy with overrides (sweep helper).
@@ -240,22 +258,28 @@ def make_transport(name: str, sim: Simulator, snd_host, rcv_host, *,
                    mss: int, metric_period: float,
                    loss_tolerance: float | None,
                    on_deliver, fixed_window: float = 64.0,
-                   hardening: dict[str, Any] | None = None):
+                   hardening: dict[str, Any] | None = None,
+                   fec: FecConfig | None = None):
     """Instantiate a transport-under-test by registry name.
 
     ``hardening`` (rto_jitter/rto_rng/stall_threshold kwargs) is passed
     through to every transport; ``run_scenario`` supplies it only when the
     scenario carries a :class:`~repro.faults.FaultSchedule`, so fault-free
-    runs are bit-identical to the pre-dynamics code path.
+    runs are bit-identical to the pre-dynamics code path.  ``fec`` arms
+    the XOR repair tier on any rudp-family transport (TCP rejects it).
     """
     hard = hardening or {}
     if name == "tcp":
+        if fec is not None:
+            raise ValueError("TCP has no FEC repair tier")
         return TcpConnection(sim, snd_host, rcv_host, mss=mss,
                              metric_period=metric_period,
                              on_deliver=on_deliver, **hard)
     kw: dict[str, Any] = dict(mss=mss, metric_period=metric_period,
                               loss_tolerance=loss_tolerance,
                               on_deliver=on_deliver, **hard)
+    if fec is not None:
+        kw["fec"] = fec
     if name == "rudp":
         return RudpConnection(sim, snd_host, rcv_host, **kw)
     if name == "rudp_nocc":
@@ -386,7 +410,7 @@ def _run_scenario(cfg: ScenarioConfig, flight, *, trace_sink=None,
                           loss_tolerance=cfg.loss_tolerance,
                           on_deliver=log.on_deliver,
                           fixed_window=cfg.fixed_window,
-                          hardening=hardening)
+                          hardening=hardening, fec=cfg.fec)
     if spans is not None:
         spans.watch_flow(conn)
 
@@ -406,18 +430,21 @@ def _run_scenario(cfg: ScenarioConfig, flight, *, trace_sink=None,
         sizes = np.repeat(steps, hold)[:cfg.n_frames]
         source = AdaptiveSource(sim, conn, strategy=strategy,
                                 frame_sizes=sizes, frame_rate=cfg.frame_rate,
-                                mss=cfg.mss, rng=app_rng)
+                                mss=cfg.mss, rng=app_rng,
+                                frame_deadline_s=cfg.frame_deadline_s)
     elif cfg.workload == "fixed_clocked":
         source = AdaptiveSource(sim, conn, strategy=strategy,
                                 base_frame_size=cfg.base_frame_size,
                                 n_frames=cfg.n_frames,
                                 frame_rate=cfg.frame_rate,
-                                mss=cfg.mss, rng=app_rng)
+                                mss=cfg.mss, rng=app_rng,
+                                frame_deadline_s=cfg.frame_deadline_s)
     else:  # greedy
         source = AdaptiveSource(sim, conn, strategy=strategy,
                                 base_frame_size=cfg.base_frame_size,
                                 n_frames=cfg.n_frames, frame_rate=None,
-                                mss=cfg.mss, rng=app_rng)
+                                mss=cfg.mss, rng=app_rng,
+                                frame_deadline_s=cfg.frame_deadline_s)
         conn.sender.on_space = source.pump
 
     # -- cross traffic --------------------------------------------------------

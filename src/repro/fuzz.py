@@ -34,12 +34,13 @@ from typing import Callable
 from .experiments.common import ScenarioConfig, ScenarioResult
 from .faults.schedule import (BandwidthRamp, Blackout, BurstyLoss, DelayRamp,
                               FaultSchedule, Jitter, LinkFlap)
-from .middleware.adaptation import (FrequencyAdaptation, MarkingAdaptation,
-                                    ResolutionAdaptation)
+from .middleware.adaptation import (FecAdaptation, FrequencyAdaptation,
+                                    MarkingAdaptation, ResolutionAdaptation)
 from .obs.compare import compare_summaries, compare_telemetry
 from .obs.flight import first_divergence
 from .obs.telemetry import TelemetryConfig
 from .runner import FailedResult, ResultsCache, run_batch
+from .transport.fec import FecConfig
 
 __all__ = ["sample_config", "sample_faults", "run_fuzz", "FuzzReport"]
 
@@ -50,7 +51,7 @@ TRANSPORT_POOL = ("tcp", "rudp", "rudp_nocc", "rudp_reno", "iq",
 #: Adaptation factories must be module-level names: a lambda would make
 #: the config unhashable (no cache key) and break pass C.
 ADAPTATION_POOL = (ResolutionAdaptation, FrequencyAdaptation,
-                   MarkingAdaptation)
+                   MarkingAdaptation, FecAdaptation)
 
 #: Virtual-time ceiling per generated case; sized so even a stalled
 #: scenario simulates in well under a wall-clock second.
@@ -134,6 +135,17 @@ def sample_config(rng: random.Random) -> ScenarioConfig:
         # to per-packet links, so burst cases flow through every
         # differential pass unchanged; pass E flips the flag explicitly.
         kw["burst"] = True
+    if transport != "tcp" and rng.random() < 0.3:
+        # FEC repair tier (repro.transport.fec): armed cases exercise
+        # generation flush, recovery injection and the redundancy
+        # controller through the same differential passes -- recovery is
+        # a deterministic function of which datagrams arrive, so armed
+        # summaries must agree across jobs/cache/burst too.
+        k = rng.choice((4, 8))
+        kw["fec"] = FecConfig(k=k, r=rng.randint(1, 2),
+                              adaptive=rng.random() < 0.7)
+        if rng.random() < 0.3:
+            kw["frame_deadline_s"] = rng.choice((0.25, 0.5, 1.0))
     return ScenarioConfig(**kw)
 
 

@@ -158,6 +158,16 @@ class InvariantChecker:
                 self._fail("receiver-state", bad,
                            rcv_nxt=rcv.reorder.rcv_nxt,
                            buffered=len(rcv.reorder))
+            fec = getattr(conn, "fec", None)
+            if fec is not None:
+                bad = fec.conservation_violation()
+                if bad is not None:
+                    self._fail("fec-conservation", bad,
+                               repairs_sent=fec.repairs_sent,
+                               recovered=fec.recovered,
+                               unrecoverable=fec.unrecoverable,
+                               repairs_unused=fec.repairs_unused,
+                               redundancy=fec.r)
             self._check_mono(f"flow{idx}.snd_una", snd.snd_una)
             self._check_mono(f"flow{idx}.snd_nxt", snd.snd_nxt)
             self._check_mono(f"flow{idx}.rcv_nxt", rcv.reorder.rcv_nxt)

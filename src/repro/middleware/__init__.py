@@ -1,14 +1,16 @@
 """IQ-ECho middleware: event channels, adaptive applications, metrics."""
 
 from .adaptation import (AdaptationStrategy, DelayedResolutionAdaptation,
-                         FrequencyAdaptation, MarkingAdaptation,
-                         NullAdaptation, ResolutionAdaptation)
+                         FecAdaptation, FrequencyAdaptation,
+                         MarkingAdaptation, NullAdaptation,
+                         ResolutionAdaptation)
 from .application import AdaptiveSource
 from .echo import Event, EventChannel
 from .receiver import DeliveryLog
 
 __all__ = [
-    "AdaptationStrategy", "DelayedResolutionAdaptation", "FrequencyAdaptation",
+    "AdaptationStrategy", "DelayedResolutionAdaptation", "FecAdaptation",
+    "FrequencyAdaptation",
     "MarkingAdaptation", "NullAdaptation", "ResolutionAdaptation",
     "AdaptiveSource", "Event", "EventChannel", "DeliveryLog",
 ]

@@ -31,14 +31,14 @@ from __future__ import annotations
 
 import random
 
-from ..core.attributes import (ADAPT_COND, ADAPT_FREQ, ADAPT_MARK,
+from ..core.attributes import (ADAPT_COND, ADAPT_FEC, ADAPT_FREQ, ADAPT_MARK,
                                ADAPT_PKTSIZE, ADAPT_WHEN, AttributeSet)
 from ..obs.bus import NULL_BUS
 from ..obs.events import ADAPT_ACTION
 
 __all__ = ["AdaptationStrategy", "NullAdaptation", "MarkingAdaptation",
            "ResolutionAdaptation", "DelayedResolutionAdaptation",
-           "FrequencyAdaptation"]
+           "FrequencyAdaptation", "FecAdaptation"]
 
 
 class AdaptationStrategy:
@@ -309,6 +309,47 @@ class FrequencyAdaptation(AdaptationStrategy):
         return self._change(self.freq_scale * (1.0 + self.increase))
 
 
+class FecAdaptation(AdaptationStrategy):
+    """Coding-rate adaptation: the application owns the redundancy knob.
+
+    The FlEC-style application-tailored reliability loop: under loss the
+    application asks the transport for one more repair segment per FEC
+    generation (the :data:`~repro.core.attributes.ADAPT_FEC` quality
+    attribute), and sheds redundancy again once the network clears.  The
+    transport clamps requests to its configured ``[r, r_max]`` band and,
+    on connections without a FEC tier, records the request and ignores it
+    -- like every other strategy, the identical application code runs
+    against coordinated and uncoordinated transports.
+    """
+
+    def __init__(self, *, min_r: int = 1, max_r: int = 4,
+                 upper: float = 0.05, lower: float = 0.01):
+        super().__init__()
+        if not 1 <= min_r <= max_r:
+            raise ValueError("need 1 <= min_r <= max_r")
+        self.min_r = min_r
+        self.max_r = max_r
+        self.upper = upper
+        self.lower = lower
+        self.redundancy = min_r
+        self.raises = 0
+        self.sheds = 0
+
+    def on_upper(self, eratio: float, metrics: dict) -> AttributeSet | None:
+        if self.redundancy >= self.max_r:
+            return None
+        self.redundancy += 1
+        self.raises += 1
+        return AttributeSet({ADAPT_FEC: self.redundancy, ADAPT_WHEN: "now"})
+
+    def on_lower(self, eratio: float, metrics: dict) -> AttributeSet | None:
+        if self.redundancy <= self.min_r:
+            return None
+        self.redundancy -= 1
+        self.sheds += 1
+        return AttributeSet({ADAPT_FEC: self.redundancy, ADAPT_WHEN: "now"})
+
+
 # ---------------------------------------------------------------------------
 # Named default-parameter factories.
 #
@@ -339,6 +380,11 @@ def frequency_default() -> FrequencyAdaptation:
     return FrequencyAdaptation(upper=0.05, lower=0.005)
 
 
+def fec_default() -> FecAdaptation:
+    """Coding-rate adaptation with the repo's default thresholds."""
+    return FecAdaptation(upper=0.05, lower=0.01)
+
+
 #: Name -> factory registry shared by the CLI (``--adaptation``) and the
 #: campaign spec language (``adaptation = "resolution"``).  ``"none"``
 #: maps to None: no application adaptation.
@@ -348,7 +394,8 @@ ADAPTATIONS: dict = {
     "marking": marking_default,
     "delayed": delayed_resolution_default,
     "frequency": frequency_default,
+    "fec": fec_default,
 }
 
 __all__ += ["ADAPTATIONS", "resolution_default", "marking_default",
-            "delayed_resolution_default", "frequency_default"]
+            "delayed_resolution_default", "frequency_default", "fec_default"]

@@ -43,6 +43,11 @@ class AdaptiveSource:
     strategy : the adaptation state machine; scale/marking/frequency changes
         all come from it.
     mss : datagram size used when the strategy marks per datagram.
+    frame_deadline_s : per-frame delivery budget; each frame's segments
+        carry an absolute deadline of submit-time + this, and the transport
+        abandons whatever is still untransmitted once it passes (stale
+        media should not block fresher frames).  0.0 (default) disables
+        deadline scheduling entirely.
     """
 
     def __init__(self, sim: Simulator, conn, *,
@@ -52,7 +57,8 @@ class AdaptiveSource:
                  n_frames: int | None = None,
                  frame_rate: float | None = None,
                  mss: int = 1400,
-                 rng: random.Random | None = None):
+                 rng: random.Random | None = None,
+                 frame_deadline_s: float = 0.0):
         if frame_sizes is None and base_frame_size is None:
             raise ValueError("need frame_sizes or base_frame_size")
         if frame_sizes is not None and n_frames is None:
@@ -61,6 +67,8 @@ class AdaptiveSource:
             raise ValueError("n_frames must be positive")
         if frame_rate is not None and frame_rate <= 0:
             raise ValueError("frame_rate must be positive")
+        if frame_deadline_s < 0:
+            raise ValueError("frame_deadline_s cannot be negative")
         self.sim = sim
         self.conn = conn
         self.strategy = strategy or NullAdaptation()
@@ -70,6 +78,7 @@ class AdaptiveSource:
         self.n_frames = n_frames
         self.frame_rate = frame_rate
         self.mss = mss
+        self.frame_deadline_s = frame_deadline_s
         self.rng = rng or random.Random(0)
         self.trace = sim.bus
         self.strategy.bind(conn, self.rng)
@@ -115,16 +124,22 @@ class AdaptiveSource:
                         freq_scale=self.strategy.freq_scale,
                         attrs=attrs.as_dict())
         size = self._frame_size(index)
+        # Only mention deadlines to the connection when armed: disarmed
+        # sources keep working against any conn exposing the plain
+        # ``submit(size, **kw)`` shape (test doubles included).
+        ddl = ({"deadline": self.sim.now + self.frame_deadline_s}
+               if self.frame_deadline_s > 0 else {})
         if self.strategy.per_datagram_marking:
-            self._emit_marked_datagrams(index, size, attrs)
+            self._emit_marked_datagrams(index, size, attrs, ddl)
         else:
-            self.conn.submit(size, frame_id=index, attrs=attrs)
+            self.conn.submit(size, frame_id=index, attrs=attrs, **ddl)
             self.submitted_datagrams += 1
         self.submitted_frames += 1
         self.submitted_bytes += size
 
     def _emit_marked_datagrams(self, index: int, size: int,
-                               attrs: AttributeSet | None) -> None:
+                               attrs: AttributeSet | None,
+                               ddl: dict) -> None:
         """Conflict-experiment shape: the frame is sent as individually
         marked/tagged datagrams of at most one MSS."""
         remaining = size
@@ -136,7 +151,8 @@ class AdaptiveSource:
                 self._datagram_counter)
             self._datagram_counter += 1
             self.conn.submit(seg, marked=marked, tagged=tagged,
-                             frame_id=index, attrs=attrs if first else None)
+                             frame_id=index, attrs=attrs if first else None,
+                             **ddl)
             self.submitted_datagrams += 1
             first = False
 

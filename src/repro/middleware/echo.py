@@ -75,13 +75,20 @@ class EventChannel:
     # Source side
     # ------------------------------------------------------------------
     def cmwritev_attr(self, size: int, attrs: AttributeSet | None = None, *,
-                      marked: bool = True, tagged: bool = False) -> int:
+                      marked: bool = True, tagged: bool = False,
+                      deadline_s: float | None = None) -> int:
         """Submit one event of ``size`` bytes with piggybacked quality
-        attributes; returns the event's frame id."""
+        attributes; returns the event's frame id.
+
+        ``deadline_s`` is the event's delivery budget from now: the
+        transport abandons whatever is still untransmitted once it passes
+        (deadline-aware frame scheduling).  ``None`` means no deadline.
+        """
         frame_id = self._next_frame
         self._next_frame += 1
+        deadline = self.sim.now + deadline_s if deadline_s else 0.0
         self.conn.submit(size, marked=marked, tagged=tagged,
-                         frame_id=frame_id, attrs=attrs)
+                         frame_id=frame_id, attrs=attrs, deadline=deadline)
         self.events_submitted += 1
         return frame_id
 

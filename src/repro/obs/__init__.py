@@ -33,9 +33,10 @@ package provides the run-level evidence chain:
 
 from .bus import NULL_BUS, NullBus, TraceBus
 from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
-                     COORD_ACTION, CWND_CHANGE, EVENT_TYPES, PACKET_ACK,
-                     PACKET_DROP, PACKET_RETX, PACKET_SEND, PERIOD_ROLL,
-                     QUEUE_DEPTH, TraceEvent)
+                     COORD_ACTION, CWND_CHANGE, EVENT_TYPES, FEC_RECOVERED,
+                     FEC_REPAIR, FRAME_ABANDONED, PACKET_ACK, PACKET_DROP,
+                     PACKET_RETX, PACKET_SEND, PERIOD_ROLL, QUEUE_DEPTH,
+                     TraceEvent)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       collect_scenario_metrics)
 from .sinks import JsonlTraceSink, RingBufferSink, read_trace, write_trace
@@ -54,6 +55,7 @@ __all__ = [
     "PACKET_SEND", "PACKET_DROP", "PACKET_ACK", "PACKET_RETX",
     "CWND_CHANGE", "QUEUE_DEPTH", "CALLBACK_FIRED", "ATTR_SENT",
     "ATTR_RECEIVED", "COORD_ACTION", "ADAPT_ACTION", "PERIOD_ROLL",
+    "FEC_REPAIR", "FEC_RECOVERED", "FRAME_ABANDONED",
     "TraceBus", "NullBus", "NULL_BUS",
     "JsonlTraceSink", "RingBufferSink", "write_trace", "read_trace",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",

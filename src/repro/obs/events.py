@@ -31,6 +31,7 @@ __all__ = [
     "CWND_CHANGE", "QUEUE_DEPTH", "CALLBACK_FIRED", "ATTR_SENT",
     "ATTR_RECEIVED", "COORD_ACTION", "ADAPT_ACTION", "PERIOD_ROLL",
     "FAULT_PHASE", "LINK_FAIL", "LINK_RECOVER",
+    "FEC_REPAIR", "FEC_RECOVERED", "FRAME_ABANDONED",
     "EVENT_TYPES", "LAYERS", "TraceEvent",
 ]
 
@@ -49,12 +50,19 @@ PERIOD_ROLL = "PERIOD_ROLL"
 FAULT_PHASE = "FAULT_PHASE"
 LINK_FAIL = "LINK_FAIL"
 LINK_RECOVER = "LINK_RECOVER"
+# FEC repair tier (armed scenarios only; disarmed traces never carry these).
+FEC_REPAIR = "FEC_REPAIR"
+FEC_RECOVERED = "FEC_RECOVERED"
+# Deadline-aware frame scheduling: a segment abandoned unsent because its
+# frame's delivery deadline passed.
+FRAME_ABANDONED = "FRAME_ABANDONED"
 
 #: The closed vocabulary; sinks and the report validate against it.
 EVENT_TYPES = frozenset({
     PACKET_SEND, PACKET_DROP, PACKET_ACK, PACKET_RETX, CWND_CHANGE,
     QUEUE_DEPTH, CALLBACK_FIRED, ATTR_SENT, ATTR_RECEIVED, COORD_ACTION,
     ADAPT_ACTION, PERIOD_ROLL, FAULT_PHASE, LINK_FAIL, LINK_RECOVER,
+    FEC_REPAIR, FEC_RECOVERED, FRAME_ABANDONED,
 })
 
 #: Emitting layers, in stack order (used by the report for display only).

@@ -322,6 +322,29 @@ def collect_scenario_metrics(registry: MetricsRegistry, *, conn, net=None,
             sender.stats.discarded_msgs)
         registry.counter("abandoned_datagrams_skip").inc(
             sender.stats.skips_sent)
+    fec_state = getattr(conn, "fec", None)
+    if fec_state is not None:
+        # Exported only when the repair tier is armed: a disarmed run's
+        # summary must stay byte-identical to the pre-FEC schema.
+        registry.counter("fec_repairs_sent").inc(fec_state.repairs_sent)
+        registry.counter("fec_repair_bytes").inc(fec_state.repair_bytes)
+        registry.counter("fec_recovered").inc(fec_state.recovered)
+        registry.counter("fec_unrecoverable").inc(fec_state.unrecoverable)
+        registry.counter("fec_repairs_unused").inc(fec_state.repairs_unused)
+        registry.gauge("fec_redundancy_final").set(fec_state.r)
+        if sender is not None:
+            coordinator = getattr(sender, "coordinator", None)
+            registry.counter("coord_fec_adaptations").inc(
+                getattr(coordinator, "fec_adaptations", 0))
+            registry.counter("coord_fec_boosts").inc(
+                getattr(coordinator, "fec_boosts", 0))
+    if sender is not None and getattr(sender, "deadline_armed", False):
+        # Same conditionality for deadline scheduling: only deadline-armed
+        # runs grow the expired-frame columns.
+        registry.counter("abandoned_msgs_deadline").inc(
+            sender.stats.expired_msgs)
+        registry.counter("abandoned_bytes_deadline").inc(
+            sender.stats.expired_bytes)
     if strategy is not None:
         registry.gauge("adapt_scale_final").set(
             getattr(strategy, "scale", 1.0))

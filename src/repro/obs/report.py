@@ -22,8 +22,8 @@ from typing import Any, Iterable, Sequence
 
 from ..analysis.tables import fmt, render_table
 from .events import (ADAPT_ACTION, ATTR_RECEIVED, ATTR_SENT, CALLBACK_FIRED,
-                     COORD_ACTION, CWND_CHANGE, FAULT_PHASE, LINK_FAIL,
-                     LINK_RECOVER, PERIOD_ROLL)
+                     COORD_ACTION, CWND_CHANGE, FAULT_PHASE, FEC_RECOVERED,
+                     FRAME_ABANDONED, LINK_FAIL, LINK_RECOVER, PERIOD_ROLL)
 from .sinks import read_trace
 
 __all__ = ["coordination_audit", "render_timeline", "render_report",
@@ -46,6 +46,7 @@ def failures_by_kind(kinds: Iterable[str]) -> dict[str, int]:
 TIMELINE_EVENTS = frozenset({
     CALLBACK_FIRED, ATTR_SENT, ATTR_RECEIVED, COORD_ACTION, ADAPT_ACTION,
     CWND_CHANGE, PERIOD_ROLL, FAULT_PHASE, LINK_FAIL, LINK_RECOVER,
+    FEC_RECOVERED, FRAME_ABANDONED,
 })
 
 #: Keys already shown in dedicated timeline columns.

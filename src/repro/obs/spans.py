@@ -12,8 +12,10 @@ application frame to:
 * every queue/wire/down drop the segment suffered on the way,
 * the coordination episodes (attribute exchange -> coordination actions,
   stall degrade/recover) running concurrently,
-* the segment's final fate -- delivered, skipped, locally discarded,
-  or still pending at run end,
+* the segment's final fate -- delivered, recovered (rebuilt by the FEC
+  repair tier without a retransmission round trip), skipped, locally
+  discarded, expired (abandoned unsent past its delivery deadline), or
+  still pending at run end,
 
 and derives a per-frame latency decomposition (serialization / queueing /
 propagation / retransmission-wait) against the nominal dumbbell path.
@@ -131,6 +133,16 @@ class SpanRecorder:
         seg["fate"] = "discarded"
         seg["t_done"] = self.sim._now
 
+    def on_expire(self, pkt: Packet) -> None:
+        """Deadline-aware scheduling abandoned the segment unsent: its
+        frame's delivery deadline passed while it queued.  Like a local
+        discard, it never got a sequence number."""
+        seg = self._by_pkt.pop(id(pkt), None)
+        if seg is None:
+            return
+        seg["fate"] = "expired"
+        seg["t_done"] = self.sim._now
+
     def on_transmit(self, pkt: Packet) -> None:
         """First transmission or retransmission of a segment."""
         key = (pkt.flow_id, pkt.seq)
@@ -169,6 +181,17 @@ class SpanRecorder:
         seg["fate"] = "delivered"
         seg["t_done"] = self.sim._now
 
+    def on_recover(self, pkt: Packet) -> None:
+        """The FEC decoder rebuilt the segment from a repair -- delivery
+        without a retransmission round trip.  Fired *before* the rebuilt
+        packet is injected through the receive path, so the subsequent
+        ``on_deliver`` sees a non-pending fate and leaves it alone."""
+        seg = self._by_key.get((pkt.flow_id, pkt.seq))
+        if seg is None or seg["fate"] != "pending":
+            return
+        seg["fate"] = "recovered"
+        seg["t_done"] = self.sim._now
+
     def on_skip(self, pkt: Packet) -> None:
         """A skip (hole-fill) segment consumed the sequence number: the
         original payload was abandoned by adaptive reliability."""
@@ -203,9 +226,14 @@ class SpanRecorder:
     def _classify(self, fr: dict[str, Any]) -> str:
         segs = fr["segments"]
         n = len(segs)
-        delivered = sum(1 for s in segs if s["fate"] == "delivered")
+        # A recovered segment reached the application exactly like a
+        # delivered one (just via the repair tier); expired segments were
+        # abandoned unsent, like skips without the sequence number.
+        delivered = sum(1 for s in segs
+                        if s["fate"] in ("delivered", "recovered"))
         discarded = sum(1 for s in segs if s["fate"] == "discarded")
-        skipped = sum(1 for s in segs if s["fate"] == "skipped")
+        skipped = sum(1 for s in segs
+                      if s["fate"] in ("skipped", "expired"))
         if delivered == n:
             return "delivered"
         if delivered > 0:
@@ -227,7 +255,8 @@ class SpanRecorder:
         (clamped at zero), which on the dumbbell is bottleneck queueing
         delay plus pipelining slack.
         """
-        done = [s for s in fr["segments"] if s["fate"] == "delivered"
+        done = [s for s in fr["segments"]
+                if s["fate"] in ("delivered", "recovered")
                 and s["t_done"] is not None]
         if not done or not self._path_hops:
             return None
@@ -261,7 +290,8 @@ class SpanRecorder:
             fr = self._frames[fid]
             outcome = self._classify(fr)
             counts[outcome] += 1
-            if any(s["fate"] == "delivered" for s in fr["segments"]):
+            if any(s["fate"] in ("delivered", "recovered")
+                   for s in fr["segments"]):
                 frames_with_delivery += 1
             done = [s["t_done"] for s in fr["segments"]
                     if s["t_done"] is not None]

@@ -262,6 +262,9 @@ class TelemetryRecorder:
         self.data = Telemetry(config)
         # (prefix, sender, receiver-or-None, mutable delta state)
         self._flows: list[tuple[str, Any, Any, dict[str, float]]] = []
+        # (prefix, FecState, mutable delta state); only populated for
+        # FEC-armed flows so disarmed runs sample exactly as before.
+        self._fec_flows: list[tuple[str, Any, dict[str, float]]] = []
         self._queues: list[tuple[str, Any]] = []
         # (prefix, link, mutable delta state)
         self._links: list[tuple[str, Any, dict[str, float]]] = []
@@ -283,6 +286,11 @@ class TelemetryRecorder:
         sender.telemetry = self.data
         self._flows.append((prefix, sender, receiver,
                             {"delivered_bytes": 0.0}))
+        fec_state = getattr(conn, "fec", None)
+        if fec_state is not None:
+            self._fec_flows.append((prefix, fec_state,
+                                    {"recovered": 0.0,
+                                     "repair_bytes": 0.0}))
         self._bound = None
 
     def watch_network(self, net) -> None:
@@ -332,7 +340,13 @@ class TelemetryRecorder:
                   get(f"{prefix}.util").add,
                   link, state)
                  for prefix, link, state in self._links]
-        return flows, queues, links
+        fecs = [(fec_state,
+                 get(f"{prefix}.fec_redundancy").add,
+                 get(f"{prefix}.fec_repair_rate").add,
+                 get(f"{prefix}.fec_overhead_bps").add,
+                 state)
+                for prefix, fec_state, state in self._fec_flows]
+        return flows, queues, links, fecs
 
     def _tick(self) -> None:
         data = self.data
@@ -342,7 +356,7 @@ class TelemetryRecorder:
         bound = self._bound
         if bound is None:
             bound = self._bound = self._bind()
-        flows, queues, links = bound
+        flows, queues, links, fecs = bound
         for (probe_fn, add_cwnd, add_flight, add_srtt, add_rto, add_loss,
              rstats, add_goodput, state) in flows:
             probe = probe_fn()
@@ -367,4 +381,12 @@ class TelemetryRecorder:
             delta = total - state["bytes_sent"]
             state["bytes_sent"] = total
             add_util(now, delta * 8.0 / (cadence * link.bandwidth_bps))
+        for fec_state, add_r, add_rate, add_overhead, state in fecs:
+            add_r(now, float(fec_state.r))
+            total = float(fec_state.recovered)
+            add_rate(now, (total - state["recovered"]) / cadence)
+            state["recovered"] = total
+            total = float(fec_state.repair_bytes)
+            add_overhead(now, (total - state["repair_bytes"]) * 8.0 / cadence)
+            state["repair_bytes"] = total
         self.sim.schedule(cadence, self._tick, priority=TELEMETRY_PRIORITY)

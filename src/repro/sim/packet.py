@@ -47,7 +47,7 @@ class Packet:
         "flow_id", "kind", "seq", "ack", "size", "wire_size", "src", "dst",
         "sport", "dport", "created_at", "sent_at", "marked", "tagged",
         "frame_id", "retransmit", "attrs", "ecn", "sack", "skip",
-        "last_of_frame",
+        "last_of_frame", "fec", "deadline",
     )
 
     _ids = 0
@@ -88,6 +88,13 @@ class Packet:
         # True on the final segment of an application frame; lets the
         # receiver time frame completions for inter-arrival metrics.
         self.last_of_frame = True
+        # Non-None only on FEC repair segments: (generation id, stripe
+        # index, covered-member metadata).  Data packets never set it, so
+        # the disarmed receive path pays a single ``is None`` check.
+        self.fec = None
+        # Absolute simulation time after which the segment's frame is
+        # stale; 0.0 means no deadline (deadline-aware scheduling off).
+        self.deadline = 0.0
 
     @property
     def is_data(self) -> bool:
@@ -108,6 +115,8 @@ class Packet:
         p.retransmit = self.retransmit
         p.skip = self.skip
         p.last_of_frame = self.last_of_frame
+        p.fec = self.fec
+        p.deadline = self.deadline
         return p
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -3,6 +3,7 @@
 from .base import (DUP_ACK_THRESHOLD, FlowStats, WindowedReceiver,
                    WindowedSender, make_flow_id)
 from .cc import CongestionControl, FixedWindowCC, RenoCC
+from .fec import FecConfig, FecReceiver, FecSender, FecState
 from .iq_rudp import IqRudpConnection
 from .lda import LdaCC
 from .reliability import (FullReliability, LossTolerantReliability,
@@ -17,6 +18,7 @@ __all__ = [
     "DUP_ACK_THRESHOLD", "FlowStats", "WindowedReceiver", "WindowedSender",
     "make_flow_id",
     "CongestionControl", "FixedWindowCC", "RenoCC", "LdaCC",
+    "FecConfig", "FecReceiver", "FecSender", "FecState",
     "IqRudpConnection", "RudpConnection", "TcpConnection",
     "FullReliability", "LossTolerantReliability", "ReliabilityPolicy",
     "RttEstimator", "ReorderBuffer", "UdpSender", "UdpSink",

@@ -26,8 +26,9 @@ from typing import Any, Callable
 
 from ..core.attributes import AttributeService, AttributeSet
 from ..core.callbacks import CallbackRegistry
-from ..obs.events import (ATTR_SENT, CALLBACK_FIRED, CWND_CHANGE, PACKET_ACK,
-                          PACKET_RETX, PACKET_SEND)
+from ..obs.events import (ATTR_SENT, CALLBACK_FIRED, CWND_CHANGE,
+                          FRAME_ABANDONED, PACKET_ACK, PACKET_RETX,
+                          PACKET_SEND)
 from ..core.coordination import Coordinator, NullCoordinator
 from ..core.metrics_export import MetricsWindow
 from ..sim.engine import Event, Simulator
@@ -62,7 +63,8 @@ class FlowStats:
                  "retransmissions", "skips_sent", "timeouts",
                  "fast_retransmits", "acked_packets", "acked_bytes",
                  "delivered_packets", "delivered_bytes", "skipped_received",
-                 "duplicates", "stalls", "stall_recoveries")
+                 "duplicates", "stalls", "stall_recoveries",
+                 "expired_msgs", "expired_bytes")
 
     def __init__(self) -> None:
         for name in self.__slots__:
@@ -116,6 +118,12 @@ class WindowedSender:
     #: from the simulator at construction; notes sit only on cold paths
     #: (retransmissions, RTOs, stalls, discards, completion).
     flight = None
+
+    #: FEC repair coder (:class:`repro.transport.fec.FecSender`) armed by
+    #: the connection when a :class:`~repro.transport.fec.FecConfig` is
+    #: configured; class attribute so the disarmed pump pays one ``is
+    #: None`` check per first transmission and nothing else.
+    fec_tx = None
 
     def __init__(self, sim: Simulator, host: Host, *, port: int,
                  peer_addr: int, peer_port: int, cc: CongestionControl,
@@ -194,6 +202,16 @@ class WindowedSender:
         self.discard_unmarked = False
         self.last_frame_size = 0
 
+        # Duplicate-ACK fast-retransmit trigger; per-sender so an armed FEC
+        # tier can raise it (giving an in-flight repair segment the chance
+        # to fill the hole before cwnd-halving ARQ fires).  Defaults to the
+        # module constant, so disarmed behaviour is bit-identical.
+        self.dup_ack_threshold = DUP_ACK_THRESHOLD
+        # True once any submitted segment carried a delivery deadline;
+        # config-deterministic, read by the metrics collector to keep
+        # deadline counters out of disarmed summaries.
+        self.deadline_armed = False
+
         # Epoch counters (LDA).
         self._epoch_sent = 0
         self._epoch_lost = 0
@@ -230,14 +248,17 @@ class WindowedSender:
     # Application interface
     # ------------------------------------------------------------------
     def submit(self, size: int, *, marked: bool = True, tagged: bool = False,
-               frame_id: int = -1, attrs: AttributeSet | None = None) -> int:
+               frame_id: int = -1, attrs: AttributeSet | None = None,
+               deadline: float = 0.0) -> int:
         """Enqueue one application datagram/frame of ``size`` payload bytes.
 
         Frames larger than the MSS are segmented; all segments share the
         frame's marking.  Piggybacked ``attrs`` (the ``cmwritev_attr`` path)
         are handed to the coordinator immediately -- the attribute describes
-        an adaptation taking effect with this message.  Returns the number
-        of segments queued.
+        an adaptation taking effect with this message.  A positive
+        ``deadline`` (absolute simulation time) lets the pump abandon the
+        frame's untransmitted segments once it passes -- stale media blocks
+        the window for nothing.  Returns the number of segments queued.
         """
         if size <= 0:
             raise ValueError("datagram size must be positive")
@@ -263,6 +284,9 @@ class WindowedSender:
                          created_at=now, marked=marked, tagged=tagged,
                          frame_id=frame_id)
             pkt.last_of_frame = (i == nseg - 1)
+            if deadline > 0.0:
+                pkt.deadline = deadline
+                self.deadline_armed = True
             if sp is not None:
                 sp.on_segment(pkt)
             self._pending.append(pkt)
@@ -328,6 +352,9 @@ class WindowedSender:
         """Declare end of application data; ``on_complete`` fires once all
         submitted data is acknowledged (or locally discarded/skipped)."""
         self._finished = True
+        fx = self.fec_tx
+        if fx is not None:
+            fx.flush()  # protect the transfer tail's partial generation
         self._check_complete()
 
     @property
@@ -384,12 +411,42 @@ class WindowedSender:
                     fl.note("transport", "DISCARD", flow=self.flow_id,
                             frame=pkt.frame_id, size=pkt.size)
                 continue
+            if (pkt.deadline and not pkt.tagged
+                    and self.sim.now > pkt.deadline):
+                # Deadline-aware scheduling: the frame is already stale at
+                # the display, so transmitting it (and retransmitting its
+                # losses) would only delay fresher frames.  Like the local
+                # discard above, the segment never gets a sequence number.
+                # Tagged control segments are exempt -- they must arrive.
+                self._pending.popleft()
+                self.backlog_bytes -= pkt.size
+                self.stats.expired_msgs += 1
+                self.stats.expired_bytes += pkt.size
+                sp = self.spans
+                if sp is not None:
+                    sp.on_expire(pkt)
+                fl = self.flight
+                if fl is not None:
+                    fl.note("transport", "EXPIRE", flow=self.flow_id,
+                            frame=pkt.frame_id, size=pkt.size,
+                            late=self.sim.now - pkt.deadline)
+                tr = self.trace
+                if tr.enabled:
+                    tr.emit("transport", FRAME_ABANDONED, flow=self.flow_id,
+                            frame=pkt.frame_id, size=pkt.size,
+                            late=self.sim.now - pkt.deadline)
+                continue
             self._pending.popleft()
             self.backlog_bytes -= pkt.size
             pkt.seq = self.snd_nxt
             self.snd_nxt += 1
             self._window[pkt.seq] = pkt
             self._transmit(pkt)
+            fx = self.fec_tx
+            if fx is not None:
+                # Enroll the first transmission into the open FEC
+                # generation (retransmissions are ARQ's concern).
+                fx.on_data(pkt)
             sent_any = True
         if sent_any and self._rto_event is None:
             self._arm_rto()
@@ -522,7 +579,7 @@ class WindowedSender:
             if self.use_eack:
                 self._eack_repair(budget=1)
             self._pump()
-        elif self._dup_acks == DUP_ACK_THRESHOLD:
+        elif self._dup_acks == self.dup_ack_threshold:
             self.stats.fast_retransmits += 1
             self._in_recovery = True
             self._recover_point = self.snd_nxt
@@ -550,9 +607,9 @@ class WindowedSender:
         if not self._sacked or budget <= 0:
             return
         ordered = sorted(self._sacked)
-        if len(ordered) < DUP_ACK_THRESHOLD:
+        if len(ordered) < self.dup_ack_threshold:
             return
-        threshold = ordered[-DUP_ACK_THRESHOLD]
+        threshold = ordered[-self.dup_ack_threshold]
         for seq in range(self.snd_una, threshold + 1):
             if budget <= 0:
                 break
@@ -660,6 +717,7 @@ class WindowedSender:
                     tr.emit("transport", ATTR_SENT, flow=self.flow_id,
                             via="callback", attrs=attrs.as_dict())
                 self.coordinator.on_callback_result(attrs)
+        self.coordinator.on_period(pm)
         self._pump()
         self.sim.schedule(self.metrics.period, self._metric_tick)
 
@@ -707,6 +765,16 @@ class WindowedSender:
         cc_bad = self.cc.bounds_violation()
         if cc_bad is not None:
             bad.append(cc_bad)
+        fx = self.fec_tx
+        if fx is not None:
+            state = fx.state
+            if state.data_enrolled != self.snd_nxt:
+                bad.append(f"fec enrollment: {state.data_enrolled} segments "
+                           f"coded over but {self.snd_nxt} first "
+                           f"transmissions occurred")
+            state_bad = state.conservation_violation()
+            if state_bad is not None:
+                bad.append(state_bad)
         return bad
 
 
@@ -725,6 +793,11 @@ class WindowedReceiver:
     #: Span recorder hook, same class-attribute idiom as the sender's.
     spans = None
 
+    #: FEC decoder (:class:`repro.transport.fec.FecReceiver`) armed by the
+    #: connection alongside the sender's coder; the disarmed receive path
+    #: pays one ``pkt.fec is None`` slot read per data packet.
+    fec = None
+
     def __init__(self, sim: Simulator, host: Host, *, port: int,
                  peer_addr: int, peer_port: int, flow_id: int,
                  on_deliver: Callable[[Packet, float], None] | None = None,
@@ -739,11 +812,21 @@ class WindowedReceiver:
         self.use_eack = use_eack
         self.reorder = ReorderBuffer()
         self.stats = FlowStats()
+        # Flight recorder reference for the FEC decoder's cold-path notes;
+        # the ordinary receive path never touches it.
+        self.flight = getattr(sim, "flight", None)
         host.bind(port, self)
 
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet) -> None:
         if pkt.flow_id != self.flow_id or pkt.kind != PacketKind.DATA:
+            return
+        if pkt.fec is not None:
+            # Repair segments live outside the sequence space: decode (or
+            # drop, if the tier is not armed on this side) and stop.
+            fx = self.fec
+            if fx is not None:
+                fx.on_repair(pkt)
             return
         verdict = self.reorder.offer(pkt.seq, pkt)
         if verdict == "inorder":
@@ -753,6 +836,12 @@ class WindowedReceiver:
                 self._consume(buffered)  # type: ignore[arg-type]
         elif verdict == "dup":
             self.stats.duplicates += 1
+        if verdict != "dup":
+            fx = self.fec
+            if fx is not None:
+                # A new arrival may leave a held stripe one member short
+                # of recovery (compound ARQ+FEC repair).
+                fx.on_progress()
         self._send_ack()
 
     def _consume(self, pkt: Packet) -> None:

@@ -27,6 +27,13 @@ class IqRudpConnection(RudpConnection):
     When the simulator carries an enabled :class:`repro.obs.TraceBus`, the
     coordinator emits ``ATTR_RECEIVED``/``COORD_ACTION`` events for every
     exchange, which is what ``repro report``'s coordination audit pairs up.
+
+    With a ``fec=`` config (inherited from :class:`RudpConnection`) the
+    coordinator additionally owns the repair redundancy: it honours
+    ``ADAPT_FEC`` quality attributes from the application, raises ``r``
+    from per-period loss telemetry and around stalls, and sheds it once
+    the loss estimator clears -- coordinated FEC, versus plain RUDP's
+    statically-configured coding rate.
     """
 
     def __init__(self, *args, discard_unmarked: bool = True,

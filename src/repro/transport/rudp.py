@@ -21,6 +21,7 @@ from ..sim.node import Host
 from ..sim.packet import Packet
 from .base import WindowedReceiver, WindowedSender, make_flow_id
 from .cc import CongestionControl
+from .fec import FecConfig, FecReceiver, FecSender, FecState
 from .lda import LdaCC
 from .reliability import (FullReliability, LossTolerantReliability,
                           ReliabilityPolicy)
@@ -39,6 +40,9 @@ class RudpConnection:
         CC-disabled row); default LDA.
     coordinator : plug in :class:`~repro.core.coordination.IQCoordinator`
         to turn this into IQ-RUDP (used by :mod:`repro.transport.iq_rudp`).
+    fec : a :class:`~repro.transport.fec.FecConfig` arms the block/
+        interleaved XOR repair tier on both endpoints (``None``, the
+        default, leaves every code path bit-identical to pre-FEC RUDP).
     """
 
     def __init__(self, sim: Simulator, sender_host: Host, receiver_host: Host,
@@ -51,7 +55,8 @@ class RudpConnection:
                  on_complete: Callable[[float], None] | None = None,
                  on_space: Callable[[], None] | None = None,
                  rto_jitter: float = 0.0, rto_rng=None,
-                 stall_threshold: int = 0):
+                 stall_threshold: int = 0,
+                 fec: FecConfig | None = None):
         flow_id = make_flow_id(sim)
         self.service = AttributeService()
         self.callbacks = CallbackRegistry()
@@ -74,6 +79,19 @@ class RudpConnection:
             use_eack=True, on_complete=on_complete, on_space=on_space,
             rto_jitter=rto_jitter, rto_rng=rto_rng,
             stall_threshold=stall_threshold)
+        self.fec: FecState | None = None
+        if fec is not None:
+            fec = FecConfig.parse(fec)
+            state = FecState(fec)
+            self.fec = state
+            self.sender.fec_tx = FecSender(self.sender, state)
+            self.receiver.fec = FecReceiver(self.receiver, state)
+            # ARQ runs completely unchanged alongside the repair tier
+            # (fast retransmit included): when the flow is fast enough
+            # for FEC to matter, a generation completes well inside one
+            # RTT and the repair wins the race anyway; when it is not,
+            # impeding ARQ to favour a repair that cannot help would
+            # turn every miss into an RTO stall.
 
     # ------------------------------------------------------------------
     # Application-facing API (paper section 2.1's three mechanisms)

@@ -64,6 +64,11 @@ class ReorderBuffer:
             self.rcv_nxt += 1
             yield seq, item
 
+    def contains(self, seq: int) -> bool:
+        """True once *seq* has been consumed or sits buffered out of order
+        (the FEC decoder's membership test for repair coverage)."""
+        return seq < self.rcv_nxt or seq in self._buf
+
     def buffered_seqs(self) -> list[int]:
         """Sorted out-of-order sequence numbers currently held (EACK body)."""
         return sorted(self._buf)
