@@ -1,0 +1,128 @@
+"""Cost of the live-observability tier on a campaign worker's hot path.
+
+A campaign worker with heartbeats armed pays, per cell: two throttled
+``beat`` calls (claim + complete -- between actual writes each is one
+monotonic-clock read and a compare), at most one atomic heartbeat file
+write (tmp + rename; the 1s throttle caps the write rate for sub-second
+cells, and for slower cells one write disappears into >= 1s of real
+work), and -- when ``REPRO_LEDGER_DIR`` is armed -- one ``O_APPEND``
+run-ledger line.  Disarmed (``REPRO_HEARTBEAT=0``, no ledger dir) costs
+are a couple of env/attribute checks and are not what this gate bounds.
+
+As with the other ``*_overhead`` benches the estimate is compositional --
+worst-case per-cell live cost over the measured cost of a deliberately
+small reference cell -- because an end-to-end A/B of a multi-process
+campaign is too noisy to gate at single percents.  The heartbeat *write*
+term is modelled at the throttle's actual cap of one write per second of
+work (``write_ns / 1e9``): for sub-second cells the 1s throttle, not the
+per-cell verbs, bounds the write rate, and for slower cells one write
+per cell is even less.  The committed baseline gates the estimate at
+<= 3% (``live_overhead_pct_max`` in ``perf_baseline.json``).
+"""
+
+import time
+
+from repro.experiments.common import ScenarioConfig, run_scenario
+from repro.obs.ledger import RunLedger
+from repro.obs.live import HeartbeatWriter
+
+#: Throttled (non-writing) ``beat`` entries per cell: one from ``claim``
+#: before the run, one from ``complete`` after, plus the per-pass keepalive
+#: -- rounded up to be generous.
+BEATS_PER_CELL = 4
+
+#: Run-ledger lines per cell when armed (one per completed scenario).
+APPENDS_PER_CELL = 1
+
+
+def _best_s(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_live_overhead(benchmark, perf_record, tmp_path):
+    """Heartbeat + ledger cost as a fraction of real per-cell work."""
+    # -- throttled beat: the no-write fast path ----------------------------
+    n = 100_000
+    hb = HeartbeatWriter(tmp_path / "hb", "bench", min_interval_s=3600.0)
+
+    def beat_loop():
+        for _ in range(n):
+            hb.beat()
+
+    beat_ns = _best_s(beat_loop) / n * 1e9
+
+    # -- forced write: payload build + tmp + atomic rename -----------------
+    n_writes = 200
+
+    def write_loop():
+        for _ in range(n_writes):
+            hb.beat(force=True)
+
+    write_ns = _best_s(write_loop, repeats=3) / n_writes * 1e9
+
+    # -- ledger append: one O_APPEND line ----------------------------------
+    ledger = RunLedger(tmp_path / "ledger")
+    n_appends = 200
+
+    def append_loop():
+        for _ in range(n_appends):
+            ledger.append(kind="bench", key="probe",
+                          metrics={"throughput_kBps": 1.0, "duration_s": 2.0},
+                          t=0.0, host="h", salt="s" * 16)
+
+    append_ns = _best_s(append_loop, repeats=3) / n_appends * 1e9
+
+    # -- reference cell: small even by test-suite standards (200 frames;
+    # real campaign cells run thousands), so the ratio is pessimistic ------
+    cfg = ScenarioConfig(workload="greedy", n_frames=200, time_cap=60.0)
+
+    def cell():
+        return run_scenario(cfg).detach()
+
+    cell_ns = _best_s(cell) * 1e9
+    per_cell_live_ns = (BEATS_PER_CELL * beat_ns
+                        + APPENDS_PER_CELL * append_ns)
+    # Writes are throttle-capped at one per second of work, independent of
+    # how many cells fit in that second.
+    live_overhead_pct = 100.0 * (per_cell_live_ns / cell_ns
+                                 + write_ns / 1e9)
+
+    perf_record("live_overhead",
+                beat_ns=round(beat_ns, 1),
+                write_ns=round(write_ns, 1),
+                append_ns=round(append_ns, 1),
+                cell_ns=round(cell_ns, 1),
+                live_overhead_pct=round(live_overhead_pct, 4))
+    assert live_overhead_pct < 3.0, (
+        f"live-tier overhead {live_overhead_pct:.2f}% of per-cell work "
+        "exceeds the 3% budget")
+    assert benchmark(cell).summary["completed"] == 1.0
+
+
+def bench_live_disarmed_noop(benchmark, perf_record, monkeypatch, tmp_path):
+    """The disarmed paths must stay negligible: ``REPRO_HEARTBEAT=0``
+    makes every writer construction a no-op and an unset
+    ``REPRO_LEDGER_DIR`` makes ``record_run`` one env lookup."""
+    from repro.obs.ledger import record_run
+    from repro.obs.live import heartbeat_enabled
+    monkeypatch.setenv("REPRO_HEARTBEAT", "0")
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+
+    n = 100_000
+
+    def disarmed_loop():
+        for _ in range(n):
+            heartbeat_enabled()
+            record_run("bench", "noop", {"x": 1.0})
+
+    disarmed_ns = _best_s(disarmed_loop) / n * 1e9
+    perf_record("live_overhead", disarmed_ns=round(disarmed_ns, 1))
+    assert disarmed_ns < 5_000, (
+        f"disarmed live-tier check costs {disarmed_ns:.0f}ns; expected "
+        "sub-microsecond env lookups")
+    assert benchmark(heartbeat_enabled) is False

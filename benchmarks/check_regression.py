@@ -19,6 +19,14 @@ Wall-clock metrics (``*_s``) and metadata are reported but never gate:
 they depend on batch composition and host load far more than the
 per-event rates do.
 
+When a run ledger is armed (``REPRO_LEDGER_DIR`` or ``--ledger-dir``) the
+rolling-window sentinel runs alongside the static gate: each bench key's
+newest ledger record is judged against the median of its previous runs
+(``repro sentinel`` semantics, see :mod:`repro.obs.ledger`), so drift
+that stays inside the frozen baseline's generous threshold but trends
+away across runs is still caught.  With fewer than two runs per key the
+sentinel reports ``insufficient-data`` and does not gate.
+
 Also exposed as an opt-in pytest gate:
 ``pytest -m perf_regression benchmarks/bench_micro.py``.
 
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -38,6 +47,39 @@ CURRENT = HERE / "results" / "bench_perf.json"
 BASELINE = HERE / "perf_baseline.json"
 
 DEFAULT_THRESHOLD = 0.25
+
+
+def sentinel(ledger_dir: str, *, window: int, tolerance: float
+             ) -> tuple[list[str], list[str]]:
+    """Rolling-window verdicts for the bench keys in the run ledger."""
+    try:
+        from repro.obs.ledger import RunLedger, sentinel_verdicts
+    except ImportError:
+        sys.path.insert(0, str(HERE.parent / "src"))
+        try:
+            from repro.obs.ledger import RunLedger, sentinel_verdicts
+        except ImportError:
+            return (["  (repro not importable; sentinel skipped)"], [])
+    records = RunLedger(ledger_dir).read(kind="bench")
+    verdicts = sentinel_verdicts(records, window=window,
+                                 tolerance=tolerance)
+    lines: list[str] = []
+    failures: list[str] = []
+    for v in verdicts:
+        if v["verdict"] == "insufficient-data":
+            lines.append(f"  {v['key']}: insufficient-data "
+                         f"(first run for this key)")
+            continue
+        lines.append(f"  {v['key']}.{v['metric']}: {v['newest']:g} vs "
+                     f"window median {v['baseline']:g} "
+                     f"({v['delta_pct']:+.1f}%) {v['verdict']}")
+        if v["verdict"] == "regression":
+            failures.append(f"{v['key']}.{v['metric']}: {v['newest']:g} "
+                            f"drifted {v['delta_pct']:+.1f}% from the "
+                            f"{v['window_n']}-run median {v['baseline']:g}")
+    if not verdicts:
+        lines.append("  (ledger has no bench records yet)")
+    return lines, failures
 
 
 def compare(current: dict, baseline: dict, threshold: float
@@ -100,6 +142,16 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
     ap.add_argument("--update-baseline", action="store_true",
                     help="overwrite the baseline with the current numbers")
+    ap.add_argument("--ledger-dir", default=os.environ.get(
+                        "REPRO_LEDGER_DIR") or None,
+                    help="run-ledger directory for the rolling-window "
+                         "sentinel (default: $REPRO_LEDGER_DIR; omit to "
+                         "skip the sentinel)")
+    ap.add_argument("--window", type=int, default=5,
+                    help="sentinel reference runs per key (default 5)")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="sentinel fractional drift tolerance "
+                         "(default 0.10)")
     args = ap.parse_args(argv)
 
     if not args.current.exists():
@@ -134,6 +186,13 @@ def main(argv: list[str] | None = None) -> int:
     print("bench_perf vs baseline:")
     for line in lines:
         print(line)
+    if args.ledger_dir:
+        s_lines, s_failures = sentinel(args.ledger_dir, window=args.window,
+                                       tolerance=args.tolerance)
+        print(f"\nrolling-window sentinel ({args.ledger_dir}):")
+        for line in s_lines:
+            print(line)
+        failures.extend(s_failures)
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for f in failures:

@@ -46,7 +46,10 @@ def record_perf(name: str, **fields) -> None:
 
     Accumulates across benches in the same file so a full run leaves one
     JSON artifact; ``check_regression.py`` compares it to the committed
-    baseline.
+    baseline.  When ``REPRO_LEDGER_DIR`` is armed, the same row is also
+    appended to the persistent run ledger -- ``bench_perf.json`` is
+    overwritten on every rerun, the ledger keeps the trajectory
+    (``repro history NAME`` / ``repro sentinel``).
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     data: dict = {}
@@ -61,6 +64,8 @@ def record_perf(name: str, **fields) -> None:
     tmp = PERF_JSON.with_suffix(".json.tmp")
     tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, PERF_JSON)
+    from repro.obs.ledger import record_run
+    record_run("bench", name, fields)
 
 
 @pytest.fixture()

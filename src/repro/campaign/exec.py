@@ -34,6 +34,8 @@ import signal
 import time
 
 from ..experiments.common import ScenarioConfig, ScenarioResult
+from ..obs.ledger import record_run
+from ..obs.live import HeartbeatWriter, heartbeat_enabled
 from ..runner.cache import ResultsCache
 from ..runner.failures import BatchExecutionError, FailedResult
 from ..runner.pool import run_batch, run_one
@@ -95,19 +97,41 @@ def _resolve_cache_token(token) -> "ResultsCache | bool | None":
     return token
 
 
+def _flight_note(res) -> "str | None":
+    """The last flight-recorder event of a result, as ``layer:event`` --
+    the one-line forensic breadcrumb a heartbeat carries."""
+    dump = getattr(res, "flight", None)
+    if isinstance(dump, dict):
+        events = dump.get("events") or []
+        tail = events[-1] if events else None
+        if isinstance(tail, dict) and tail.get("event"):
+            layer = tail.get("layer")
+            return (f"{layer}:{tail['event']}" if layer
+                    else str(tail["event"]))
+    return None
+
+
 def worker_loop(store: CampaignStore,
                 cells: "list[tuple[str, str, ScenarioConfig]]", *,
                 cache=None, timeout: float | None = None,
-                retries: int = 0, on_cell=None) -> int:
+                retries: int = 0, on_cell=None,
+                heartbeat: bool = True) -> int:
     """One worker's pass over the campaign: claim, run, store, release.
 
     ``cells`` is the shared ordered list of ``(key, label, config)``.
     Returns the number of cells this worker executed.  Raises
     ``KeyboardInterrupt`` through (after releasing the in-flight claim) so
     the caller can report resume instructions.
+
+    With ``heartbeat=True`` (and ``REPRO_HEARTBEAT`` not ``0``) the worker
+    maintains an atomic liveness file under the store's ``heartbeats/``
+    directory -- claimed cell before each run, counters + the result's
+    last flight-recorder note after (see :mod:`repro.obs.live`).
     """
     executed = 0
     journal = store.journal()
+    hb = (HeartbeatWriter(store.heartbeat_dir, store.worker)
+          if heartbeat and heartbeat_enabled() else None)
     try:
         # Loop until every cell is either done or leased to another live
         # worker.  An expired lease is stolen inside try_claim, so "live
@@ -137,6 +161,8 @@ def worker_loop(store: CampaignStore,
                     store.release_claim(key)
                     continue
                 try:
+                    if hb is not None:
+                        hb.claim(label, key)
                     res = run_one(cfg, cache=cache, on_error="capture",
                                   timeout=timeout, retries=retries)
                     store.store_cell(key, res)
@@ -147,14 +173,21 @@ def worker_loop(store: CampaignStore,
                         pass
                     executed += 1
                     progressed = True
+                    if hb is not None:
+                        hb.complete(failed=isinstance(res, FailedResult),
+                                    note=_flight_note(res))
                     if on_cell is not None:
                         on_cell(key, label, res)
                 finally:
                     store.release_claim(key)
+            if hb is not None:
+                hb.beat()  # stay live while blocked on others' leases
             if progressed or retry:
                 continue
             break  # done, or the rest is in other workers' hands
     finally:
+        if hb is not None:
+            hb.close()
         store.close()
     return executed
 
@@ -213,7 +246,8 @@ def _collect_and_heal(store: CampaignStore, campaign: Campaign, cells, *,
             except OSError:
                 pass
         worker_loop(store, [(c.key, c.label, c.config) for c in torn],
-                    cache=cache, timeout=timeout, retries=retries)
+                    cache=cache, timeout=timeout, retries=retries,
+                    heartbeat=False)
         results = _load_results(store, cells)
     return CampaignRun(campaign, results)
 
@@ -240,12 +274,14 @@ def run_campaign(campaign, *, dir: "str | os.PathLike | None" = None,
     cells = campaign.cells()
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers!r}")
+    t0 = time.monotonic()
 
     if dir is None:
         batch = run_batch({c.key: c.config for c in cells}, jobs=workers,
                           cache=cache, on_error="capture", timeout=timeout,
                           retries=retries)
-        return CampaignRun(campaign, dict(batch))
+        return _ledgered(CampaignRun(campaign, dict(batch)),
+                         time.monotonic() - t0)
 
     store = CampaignStore(dir, lease_s=lease_s)
     store.init(campaign)
@@ -261,8 +297,10 @@ def run_campaign(campaign, *, dir: "str | os.PathLike | None" = None,
                             failed=isinstance(r, FailedResult)))
         finally:
             bar.finish()
-        return _collect_and_heal(store, campaign, cells, cache=cache,
-                                 timeout=timeout, retries=retries)
+        return _ledgered(
+            _collect_and_heal(store, campaign, cells, cache=cache,
+                              timeout=timeout, retries=retries),
+            time.monotonic() - t0)
 
     # Multi-process fan-out: children coordinate purely through the store;
     # the parent only paints progress and handles SIGINT.
@@ -286,6 +324,9 @@ def run_campaign(campaign, *, dir: "str | os.PathLike | None" = None,
             while seen < done:
                 bar.update()
                 seen += 1
+            # Failures live in the workers; their heartbeats are the only
+            # live channel back, so the parent's line folds them in.
+            bar.failed = _heartbeat_failed(store)
             time.sleep(0.05)
         for p in procs:
             p.join()
@@ -297,8 +338,34 @@ def run_campaign(campaign, *, dir: "str | os.PathLike | None" = None,
         raise
     finally:
         bar.finish()
-    return _collect_and_heal(store, campaign, cells, cache=cache,
-                             timeout=timeout, retries=retries)
+    return _ledgered(
+        _collect_and_heal(store, campaign, cells, cache=cache,
+                          timeout=timeout, retries=retries),
+        time.monotonic() - t0)
+
+
+def _heartbeat_failed(store: CampaignStore) -> int:
+    from ..obs.live import read_heartbeats
+    return sum(hb.get("failed", 0) for hb in read_heartbeats(
+        store.heartbeat_dir) if isinstance(hb.get("failed"), int))
+
+
+def _ledgered(run: CampaignRun, duration_s: float) -> CampaignRun:
+    """Append the finished campaign's summary row to the run ledger
+    (no-op unless ``REPRO_LEDGER_DIR`` is armed)."""
+    import hashlib
+    done = len(run.results_by_key)
+    failed = sum(1 for r in run.results_by_key.values()
+                 if isinstance(r, FailedResult))
+    fingerprint = hashlib.sha256(
+        "\n".join(c.key for c in run.cells).encode()).hexdigest()[:20]
+    record_run("campaign", run.campaign.name, {
+        "cells_total": len(run.cells), "cells_done": done,
+        "cells_failed": failed,
+        "cells_per_s": round(done / duration_s, 4) if duration_s > 0 else 0.0,
+    }, fingerprint=fingerprint,
+        timings={"duration_s": round(duration_s, 4)})
+    return run
 
 
 def run_rows(rows, *, name: str, dir: "str | os.PathLike | None" = None,

@@ -83,6 +83,7 @@ class CampaignStore:
         self.cells_dir = self.root / "cells"
         self.claims_dir = self.root / "claims"
         self.journal_dir = self.root / "journal"
+        self.heartbeat_dir = self.root / "heartbeats"
         self.manifest_path = self.root / "manifest.json"
         self._journal: SweepJournal | None = None
 
@@ -275,13 +276,23 @@ class CampaignStore:
             self._journal = None
 
     # -- status ------------------------------------------------------------
-    def status(self) -> dict:
-        """Point-in-time campaign progress from the filesystem alone."""
+    def status(self, *, now: float | None = None) -> dict:
+        """Point-in-time campaign progress from the filesystem alone.
+
+        ``now`` is injectable so lease/heartbeat ages are deterministic in
+        tests.  Besides the aggregate counts, the dict carries per-claim
+        lease detail (``claims``: cell label, holder, lease age, expired)
+        and per-worker heartbeat liveness (``heartbeats``: see
+        :func:`repro.obs.live.read_heartbeats` /
+        :func:`~repro.obs.live.heartbeat_state`).
+        """
+        from ..obs.live import heartbeat_state, read_heartbeats
         manifest = self.read_manifest()
         if manifest is None:
             raise FileNotFoundError(
                 f"no campaign manifest in {self.root}; run "
                 f"'repro campaign run' with a spec first")
+        labels = {c["key"]: c["label"] for c in manifest["cells"]}
         keys = [c["key"] for c in manifest["cells"]]
         done = self.done_keys() & set(keys)
         failed = 0
@@ -295,8 +306,10 @@ class CampaignStore:
             elif isinstance(res, FailedResult):
                 failed += 1
                 failed_kinds.append(res.kind)
-        now = time.time()
+        if now is None:
+            now = time.time()
         claimed = expired = 0
+        claims: list[dict] = []
         for key in keys:
             if key in done:
                 continue
@@ -304,10 +317,32 @@ class CampaignStore:
             if claim is None:
                 continue
             expires = claim.get("expires_at")
-            if isinstance(expires, (int, float)) and now < expires:
-                claimed += 1
-            else:
-                expired += 1
+            live = isinstance(expires, (int, float)) and now < expires
+            claimed += live
+            expired += not live
+            claimed_at = claim.get("claimed_at")
+            claims.append({
+                "cell": labels[key],
+                "worker": claim.get("worker", "?"),
+                "age_s": (max(now - claimed_at, 0.0)
+                          if isinstance(claimed_at, (int, float)) else 0.0),
+                "expired": not live,
+            })
+        heartbeats = []
+        for hb in read_heartbeats(self.heartbeat_dir):
+            updated = hb.get("updated_at")
+            heartbeats.append({
+                "worker": hb.get("worker", "?"),
+                "state": heartbeat_state(hb, now=now,
+                                         expiry_s=self.lease_s),
+                "age_s": (max(now - updated, 0.0)
+                          if isinstance(updated, (int, float)) else 0.0),
+                "claimed": hb.get("claimed"),
+                "done": hb.get("done", 0),
+                "failed": hb.get("failed", 0),
+                "rate_per_s": hb.get("rate_per_s", 0.0),
+                "note": hb.get("note"),
+            })
         return {
             "name": manifest.get("name"),
             "total": len(keys),
@@ -318,4 +353,6 @@ class CampaignStore:
             "stale_claims": expired,
             "pending": len(keys) - len(done) - claimed,
             "workers": self.journal_counts(),
+            "claims": claims,
+            "heartbeats": heartbeats,
         }

@@ -484,7 +484,123 @@ def _status_campaign_cmd(args) -> str:
                 if status['stale_claims'] else "")]
     for worker, n in status["workers"].items():
         lines.append(f"  {worker}: {n} cell(s) executed")
+    for hb in status["heartbeats"]:
+        lines.append(f"  heartbeat {hb['worker']}: {hb['state']}, age "
+                     f"{hb['age_s']:.0f}s, {hb['done']} done "
+                     f"({hb['failed']} failed), {hb['rate_per_s']:.2f} "
+                     f"cells/s"
+                     + (f", on {hb['claimed']!r}" if hb["claimed"] else ""))
+    for claim in status["claims"]:
+        lines.append(f"  lease on {claim['cell']!r}: held by "
+                     f"{claim['worker']} for {claim['age_s']:.0f}s"
+                     + (" -- STALE (stealable)" if claim["expired"] else ""))
     return "\n".join(lines)
+
+
+def _watch_campaign_cmd(args) -> int:
+    """Live (or ``--once``) view of a running campaign directory."""
+    import time
+
+    from .campaign import CampaignStore
+    from .obs.live import (StreamingAggregator, _manifest_cells,
+                           render_watch, watch_snapshot)
+    metrics = tuple(args.metrics.split(",")) if args.metrics else None
+    if args.once:
+        snap = watch_snapshot(args.dir, expiry_s=args.expiry,
+                              metrics=metrics)
+        print(render_watch(snap))
+        return 0
+    store = CampaignStore(args.dir)
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise FileNotFoundError(
+            f"no campaign manifest in {args.dir}; start one with "
+            f"'repro campaign run SPEC --dir {args.dir}'")
+    # One aggregator across refreshes: each tick folds only newly landed
+    # cells, so watching a big campaign is O(new) per refresh.
+    agg = StreamingAggregator(_manifest_cells(store, manifest),
+                              metrics=metrics)
+    try:
+        while True:
+            snap = watch_snapshot(args.dir, agg=agg, expiry_s=args.expiry,
+                                  metrics=metrics)
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(render_watch(snap))
+            sys.stdout.flush()
+            if snap["done"] >= snap["total"] and not snap["running"]:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return 0
+
+
+def _serve_cmd(args) -> int:
+    """Serve a campaign directory's live state over HTTP."""
+    from .obs.live import make_live_server
+    server = make_live_server(args.dir, port=args.port, host=args.host,
+                              expiry_s=args.expiry)
+    host, port = server.server_address[:2]
+    print(f"serving campaign {args.dir} on http://{host}:{port}/ "
+          f"(Prometheus: /metrics; Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _resolve_ledger(args):
+    """The ledger named by ``--ledger-dir``/env, or None (caller errors)."""
+    from .obs.ledger import RunLedger, ledger_dir
+    root = args.ledger_dir or ledger_dir()
+    if root is None:
+        print("error: no run ledger configured; set REPRO_LEDGER_DIR or "
+              "pass --ledger-dir", file=sys.stderr)
+        return None
+    return RunLedger(root)
+
+
+def _history_cmd(args) -> int:
+    from .obs.ledger import render_history
+    ledger = _resolve_ledger(args)
+    if ledger is None:
+        return 2
+    records = ledger.read(key=args.key)
+    if not records:
+        known = ", ".join(ledger.keys()) or "(ledger is empty)"
+        print(f"error: no ledger records for {args.key!r}; known keys: "
+              f"{known}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps(records, indent=1, sort_keys=True))
+        return 0
+    metrics = tuple(args.metrics.split(",")) if args.metrics else None
+    print(render_history(records, metrics=metrics, limit=args.limit))
+    return 0
+
+
+def _sentinel_cmd(args) -> int:
+    from .obs.ledger import render_sentinel, sentinel_verdicts
+    ledger = _resolve_ledger(args)
+    if ledger is None:
+        return 2
+    records = ledger.read()
+    if args.keys:
+        wanted = set(args.keys)
+        records = [r for r in records if r["key"] in wanted]
+    verdicts = sentinel_verdicts(records, window=args.window,
+                                 tolerance=args.tolerance)
+    if args.json:
+        import json
+        print(json.dumps(verdicts, indent=1, sort_keys=True))
+    else:
+        print(render_sentinel(verdicts))
+    return 1 if any(v["verdict"] == "regression" for v in verdicts) else 0
 
 
 def _report_campaign_cmd(args) -> str:
@@ -762,10 +878,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_campaign_exec_flags(crs)
 
     cst = casub.add_parser("status",
-                           help="progress of a campaign directory")
+                           help="progress of a campaign directory, with "
+                                "per-worker heartbeat liveness and lease "
+                                "ages (stale leases flagged)")
     cst.add_argument("dir", help="campaign directory")
     cst.add_argument("--json", action="store_true",
                      help="emit the status as JSON")
+
+    cwa = casub.add_parser(
+        "watch",
+        help="live view of a running campaign: per-worker heartbeat rows "
+             "plus per-axis aggregates that update incrementally as cells "
+             "land (no wait for the final report)")
+    cwa.add_argument("dir", help="campaign directory")
+    cwa.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (tests/CI)")
+    cwa.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh period in seconds (default 2)")
+    cwa.add_argument("--expiry", type=float, default=300.0, metavar="S",
+                     help="heartbeat staleness window in seconds "
+                          "(default: the 300s claim lease)")
+    cwa.add_argument("--metrics", metavar="NAMES", default=None,
+                     help="comma-separated summary metrics to stream "
+                          "(default: the standard campaign set)")
 
     crp = casub.add_parser(
         "report",
@@ -780,6 +915,56 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the full deterministic report as JSON")
     crp.add_argument("--prom", action="store_true",
                      help="emit Prometheus text exposition instead")
+
+    sv = sub.add_parser(
+        "serve",
+        help="expose a campaign directory's live state over HTTP: "
+             "/metrics (Prometheus text exposition, pinned formatting), "
+             "/ (the watch table) and /healthz")
+    sv.add_argument("dir", help="campaign directory")
+    sv.add_argument("--port", type=int, default=9464, metavar="N",
+                    help="TCP port to bind (default 9464; 0 = ephemeral)")
+    sv.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                    help="bind address (default 127.0.0.1)")
+    sv.add_argument("--expiry", type=float, default=300.0, metavar="S",
+                    help="heartbeat staleness window in seconds "
+                         "(default: the 300s claim lease)")
+
+    hi = sub.add_parser(
+        "history",
+        help="metric trajectories for one run-ledger key across runs "
+             "(requires REPRO_LEDGER_DIR or --ledger-dir)")
+    hi.add_argument("key", help="ledger key: a bench name, campaign name "
+                                "or batch row label")
+    hi.add_argument("--metrics", metavar="NAMES", default=None,
+                    help="comma-separated metrics to plot (default: the "
+                         "newest record's directional metrics)")
+    hi.add_argument("--ledger-dir", metavar="DIR", default=None,
+                    help="run-ledger directory (default: "
+                         "$REPRO_LEDGER_DIR)")
+    hi.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="show at most the newest N runs")
+    hi.add_argument("--json", action="store_true",
+                    help="emit the raw ledger records as JSON")
+
+    se = sub.add_parser(
+        "sentinel",
+        help="regression sentinel: judge each ledger key's newest run "
+             "against the median of a rolling window of its predecessors; "
+             "exit 1 when any directional metric regressed beyond "
+             "tolerance")
+    se.add_argument("keys", nargs="*",
+                    help="ledger keys to judge (default: every key)")
+    se.add_argument("--window", type=int, default=5, metavar="N",
+                    help="reference runs per key (default 5)")
+    se.add_argument("--tolerance", type=float, default=0.10, metavar="F",
+                    help="fractional drift treated as noise (default "
+                         "0.10 = 10%%)")
+    se.add_argument("--ledger-dir", metavar="DIR", default=None,
+                    help="run-ledger directory (default: "
+                         "$REPRO_LEDGER_DIR)")
+    se.add_argument("--json", action="store_true",
+                    help="emit the typed verdicts as JSON")
 
     rp = sub.add_parser("report",
                         help="render timeline + coordination audit for a "
@@ -834,8 +1019,16 @@ def main(argv: list[str] | None = None) -> int:
                 return _resume_campaign_cmd(args)
             if args.action == "status":
                 print(_status_campaign_cmd(args))
+            elif args.action == "watch":
+                return _watch_campaign_cmd(args)
             else:
                 print(_report_campaign_cmd(args))
+        elif args.command == "serve":
+            return _serve_cmd(args)
+        elif args.command == "history":
+            return _history_cmd(args)
+        elif args.command == "sentinel":
+            return _sentinel_cmd(args)
         elif args.command == "report":
             print(_run_report_cmd(args))
         else:

@@ -35,17 +35,19 @@ re-raised as :class:`BatchExecutionError` carrying the worker traceback;
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Mapping, Sequence
 
 from ..experiments.common import ScenarioConfig, ScenarioResult, run_scenario
+from ..obs.ledger import record_run
 from ..obs.sinks import RingBufferSink, write_trace
 from .cache import ResultsCache, cache_enabled, default_cache
 from .checkpoint import SweepJournal
 from .failures import BatchExecutionError, FailedResult
-from .hashing import config_key
+from .hashing import config_fingerprint, config_key
 from .progress import SweepProgress
 from .supervisor import classify_exception, describe_config, run_supervised
 
@@ -139,6 +141,27 @@ def _capture_inprocess(cfg: ScenarioConfig, worker: Callable
                             flight=getattr(exc, "flight_dump", None))
 
 
+def _pool_heartbeat(checkpoint: str | None, total: int):
+    """A liveness file for this batch's coordinating process, or None.
+
+    Armed by ``REPRO_HEARTBEAT_DIR`` (explicit directory) or implicitly by
+    a checkpointed batch (``<checkpoint>.heartbeats`` next to the
+    journal); ``REPRO_HEARTBEAT=0`` kills it either way.  Plain batches
+    with neither stay exactly as before -- two env lookups.
+    """
+    import os
+
+    from ..obs.live import HeartbeatWriter, heartbeat_enabled
+    if not heartbeat_enabled():
+        return None
+    directory = os.environ.get("REPRO_HEARTBEAT_DIR")
+    if not directory and checkpoint is not None:
+        directory = os.fspath(checkpoint) + ".heartbeats"
+    if not directory:
+        return None
+    return HeartbeatWriter(directory, f"pool-{os.getpid()}", total=total)
+
+
 def run_one(cfg: ScenarioConfig, *,
             cache: ResultsCache | bool | None = None,
             trace: str | None = None, **kw) -> ScenarioResult:
@@ -224,9 +247,17 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
             misses.append(i)
 
     def _persist(i: int, res: Any) -> None:
-        """Cache + journal one fresh success (event streams stay out of
-        both: they are per-run evidence, not results)."""
-        if not isinstance(res, ScenarioResult) or keys[i] is None:
+        """Cache + journal + ledger one fresh success (event streams stay
+        out of all three: they are per-run evidence, not results)."""
+        if not isinstance(res, ScenarioResult):
+            return
+        fp = config_fingerprint(cfgs[i])
+        digest = (hashlib.sha256(fp.encode()).hexdigest()[:20]
+                  if fp is not None else None)
+        record_run("scenario",
+                   str(names[i]) if keyed else f"cfg:{digest or 'dynamic'}",
+                   res.summary, fingerprint=digest)
+        if keys[i] is None:
             return
         events = res.trace
         res.trace = None
@@ -246,7 +277,9 @@ def run_batch(configs: Mapping[Any, ScenarioConfig] |
             res.trace = events
 
     interrupted = False
-    progress = SweepProgress(len(cfgs), cached=len(cfgs) - len(misses))
+    progress = SweepProgress(len(cfgs), cached=len(cfgs) - len(misses),
+                             heartbeat=_pool_heartbeat(checkpoint,
+                                                       len(cfgs)))
     try:
         if misses and not resilient:
             # Legacy fast path: byte-for-byte the pre-resilience behaviour
